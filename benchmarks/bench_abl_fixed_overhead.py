@@ -1,0 +1,97 @@
+"""Ablation H: sensitivity to the fixed (software) fault overhead.
+
+One of the paper's four explicit questions (Section 2.2): "To what
+extent is this benefit affected by the value of the fixed overheads?"
+The fixed cost — fault handling, page lookup, request messaging — is
+paid once per fault regardless of transfer size, so as it grows it
+dilutes the latency advantage of fetching less data.
+
+This bench sweeps the fixed request cost from 0.25x to 4x the
+prototype's 0.27 ms (0.25x models an Active-Messages-style fast path;
+4x a heavyweight kernel path) and tracks the eager-fetch improvement
+over fullpage GMS.  Expected shape: the subpage benefit falls
+monotonically as fixed overhead grows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table, percent
+from repro.net.latency import (
+    CalibratedLatencyModel,
+    FixedOverheadLatencyModel,
+)
+from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.simulator import simulate
+from repro.trace.synth.apps import build_app_trace
+
+APP = "modula3"
+FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+SUBPAGE = 1024
+
+
+def run() -> dict[float, dict[str, float]]:
+    trace = build_app_trace(APP)
+    memory = memory_pages_for(trace, 0.5)
+    out: dict[float, dict[str, float]] = {}
+    for factor in FACTORS:
+        model = FixedOverheadLatencyModel(
+            CalibratedLatencyModel(), factor
+        )
+        fullpage = simulate(
+            trace,
+            SimulationConfig(
+                memory_pages=memory,
+                scheme="fullpage",
+                subpage_bytes=8192,
+                latency_model=model,
+            ),
+        )
+        eager = simulate(
+            trace,
+            SimulationConfig(
+                memory_pages=memory,
+                scheme="eager",
+                subpage_bytes=SUBPAGE,
+                latency_model=model,
+            ),
+        )
+        out[factor] = {
+            "fixed_ms": model.request_fixed_ms,
+            "fullpage_ms": fullpage.total_ms,
+            "eager_ms": eager.total_ms,
+            "improvement": eager.improvement_vs(fullpage),
+        }
+    return out
+
+
+def render(out) -> str:
+    rows = [
+        [
+            f"{factor:g}x",
+            round(row["fixed_ms"], 3),
+            round(row["fullpage_ms"], 1),
+            round(row["eager_ms"], 1),
+            percent(row["improvement"]),
+        ]
+        for factor, row in out.items()
+    ]
+    return format_table(
+        ["overhead", "fixed (ms)", "fullpage ms", "eager 1K ms",
+         "improvement"],
+        rows,
+        title=(
+            "Ablation H: eager-fetch benefit vs fixed software overhead "
+            f"({APP}, 1/2-mem)"
+        ),
+    )
+
+
+def test_abl_fixed_overhead(report):
+    out = report(run, render)
+    improvements = [out[f]["improvement"] for f in FACTORS]
+    # The subpage benefit shrinks monotonically as fixed overhead grows.
+    assert all(b < a for a, b in zip(improvements, improvements[1:]))
+    # With a fast request path the benefit is large; with a heavyweight
+    # one it is still positive but clearly diminished.
+    assert improvements[0] > 0.25
+    assert 0.0 < improvements[-1] < improvements[0] - 0.05

@@ -1,0 +1,99 @@
+"""Ablation J: robustness to the synthetic-workload generator family.
+
+The five application models are built from regions, phases, and access
+patterns.  If the paper-shaped conclusions only held for that generator
+family, the reproduction would be fragile.  This bench re-runs the
+central comparison — eager 1K vs fullpage vs disk at 1/2 memory — on
+workloads from a *different* family entirely: LRU stack-distance
+generation (``repro.trace.synth.stackdist``), across a range of locality
+tightness.
+
+Expected shape: for every locality level, fullpage GMS beats disk and
+eager subpage fetch beats fullpage GMS; the subpage benefit grows as
+locality loosens (more capacity faulting).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table, percent
+from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.simulator import simulate
+from repro.trace.synth.stackdist import (
+    StackDistanceSpec,
+    generate_stack_distance_trace,
+)
+
+THETAS = (1.2, 0.8, 0.4)  # tight -> loose locality
+
+
+def run() -> dict[float, dict[str, object]]:
+    out: dict[float, dict[str, object]] = {}
+    for theta in THETAS:
+        trace = generate_stack_distance_trace(
+            StackDistanceSpec(
+                refs=600_000,
+                theta=theta,
+                max_depth=300,
+                max_pages=320,
+                new_page_prob=0.02,
+                run_words=24,
+                name=f"stackdist-{theta:g}",
+            ),
+            dilation=25.0,
+        )
+        memory = memory_pages_for(trace, 0.5)
+
+        def cfg(**kwargs):
+            base = dict(memory_pages=memory, scheme="eager",
+                        subpage_bytes=1024)
+            base.update(kwargs)
+            return SimulationConfig(**base)
+
+        out[theta] = {
+            "trace": trace,
+            "disk": simulate(
+                trace, cfg(backing="disk", scheme="fullpage",
+                           subpage_bytes=8192)
+            ),
+            "fullpage": simulate(
+                trace, cfg(scheme="fullpage", subpage_bytes=8192)
+            ),
+            "eager": simulate(trace, cfg()),
+        }
+    return out
+
+
+def render(out) -> str:
+    rows = []
+    for theta, res in out.items():
+        disk, full, eager = res["disk"], res["fullpage"], res["eager"]
+        rows.append(
+            [
+                f"theta={theta:g}",
+                res["trace"].footprint_pages(),
+                full.page_faults,
+                f"{full.speedup_vs(disk):.2f}x",
+                percent(eager.improvement_vs(full)),
+            ]
+        )
+    return format_table(
+        ["workload", "pages", "faults", "GMS vs disk",
+         "eager 1K vs fullpage"],
+        rows,
+        title=(
+            "Ablation J: stack-distance workloads (different generator "
+            "family), 1/2-mem"
+        ),
+    )
+
+
+def test_abl_generator_family(report):
+    out = report(run, render)
+    improvements = []
+    for theta, res in out.items():
+        disk, full, eager = res["disk"], res["fullpage"], res["eager"]
+        assert full.total_ms < disk.total_ms, theta
+        assert eager.total_ms < full.total_ms, theta
+        improvements.append(eager.improvement_vs(full))
+    # Looser locality (lower theta) -> more faulting -> larger benefit.
+    assert improvements == sorted(improvements)

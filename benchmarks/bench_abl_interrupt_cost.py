@@ -1,0 +1,85 @@
+"""Ablation E: receiver interrupt cost for pipelined subpages.
+
+Section 4.3: "In our current prototype using the AN2 controller, each
+pipelined subpage causes an interrupt whose handling cost exceeds the
+wire time for the subpage (e.g., the overhead is 68 us for a 256-byte
+subpage and 91 us for a 1K subpage) ... Therefore, on our current
+prototype, software pipelining does not outperform eager fullpage fetch."
+
+This bench runs subpage pipelining with (a) the idealized zero-overhead
+controller the paper simulates and (b) the measured AN2 interrupt costs,
+against eager fullpage fetch.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.net.calibration import interrupt_cost_ms
+from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.simulator import simulate
+from repro.trace.synth.apps import build_app_trace
+
+APP = "modula3"
+SIZES = (1024, 256)
+
+
+def run() -> dict[tuple[int, str], object]:
+    trace = build_app_trace(APP)
+    memory = memory_pages_for(trace, 0.5)
+    results = {}
+    for size in SIZES:
+        base = dict(memory_pages=memory, subpage_bytes=size)
+        results[(size, "eager")] = simulate(
+            trace, SimulationConfig(scheme="eager", **base)
+        )
+        results[(size, "pipelined-ideal")] = simulate(
+            trace, SimulationConfig(scheme="pipelined", **base)
+        )
+        results[(size, "pipelined-an2")] = simulate(
+            trace,
+            SimulationConfig(
+                scheme="pipelined",
+                scheme_kwargs={
+                    "interrupt_ms": interrupt_cost_ms(size),
+                    # The AN2 pipelines the whole remainder as subpages.
+                    "pipeline_count": 8192 // size - 1,
+                },
+                **base,
+            ),
+        )
+    return results
+
+
+def render(results) -> str:
+    rows = []
+    for (size, label), res in results.items():
+        rows.append(
+            [
+                f"sp_{size}",
+                label,
+                round(res.total_ms, 1),
+                round(res.components.cpu_overhead_ms, 1),
+            ]
+        )
+    return format_table(
+        ["size", "variant", "total ms", "interrupt ms"],
+        rows,
+        title=(
+            f"Ablation E: pipelined-subpage interrupt cost ({APP}, "
+            "1/2-mem)"
+        ),
+    )
+
+
+def test_abl_interrupt_cost(report):
+    results = report(run, render)
+    for size in SIZES:
+        ideal = results[(size, "pipelined-ideal")].total_ms
+        an2 = results[(size, "pipelined-an2")].total_ms
+        eager = results[(size, "eager")].total_ms
+        # With an intelligent controller pipelining wins...
+        assert ideal < eager
+        # ...but with the AN2's measured per-message interrupt cost the
+        # overhead eats the benefit (Section 4.3's conclusion).
+        assert an2 > ideal
+        assert an2 > 0.97 * eager

@@ -1,0 +1,108 @@
+"""Ablation C: sensitivity to the network : memory speed ratio.
+
+The paper's conclusion: "while for current technological parameters our
+simulations indicate that the optimal subpage size is about 2K, we might
+expect that size to decrease in the future, particularly for subpage
+pipelining, as the ratio of network speed to memory speed increases."
+
+This bench scales the transfer-dependent latency component (wire, DMA,
+copy) while keeping the fixed software request cost, for both eager fetch
+and pipelining.  The measurable claims:
+
+* the optimal subpage size never grows as the network speeds up;
+* pipelining's optimum sits at or below eager fetch's (1K vs 2K at 1x);
+* the *penalty* for choosing very small (256B) subpages shrinks
+  monotonically as the network gets faster.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.net.latency import CalibratedLatencyModel, ScaledLatencyModel
+from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.simulator import simulate
+from repro.trace.synth.apps import build_app_trace
+
+APP = "modula3"
+SPEEDUPS = (1.0, 2.0, 4.0, 8.0)
+SIZES = (4096, 2048, 1024, 512, 256)
+SCHEMES = ("eager", "pipelined")
+
+
+def run() -> dict[str, dict[float, dict[int, float]]]:
+    trace = build_app_trace(APP)
+    memory = memory_pages_for(trace, 0.5)
+    totals: dict[str, dict[float, dict[int, float]]] = {}
+    for scheme in SCHEMES:
+        totals[scheme] = {}
+        for speedup in SPEEDUPS:
+            model = ScaledLatencyModel(CalibratedLatencyModel(), speedup)
+            by_size = {}
+            for size in SIZES:
+                config = SimulationConfig(
+                    memory_pages=memory,
+                    scheme=scheme,
+                    subpage_bytes=size,
+                    latency_model=model,
+                )
+                by_size[size] = simulate(trace, config).total_ms
+            totals[scheme][speedup] = by_size
+    return totals
+
+
+def optimal_size(by_size: dict[int, float]) -> int:
+    return min(by_size, key=by_size.get)
+
+
+def small_penalty(by_size: dict[int, float]) -> float:
+    """How much worse 256B subpages are than the optimum (fraction)."""
+    best = by_size[optimal_size(by_size)]
+    return by_size[256] / best - 1.0
+
+
+def render(totals) -> str:
+    out = []
+    for scheme, by_speed in totals.items():
+        rows = []
+        for speedup, by_size in by_speed.items():
+            rows.append(
+                [f"{speedup:g}x"]
+                + [round(by_size[s], 1) for s in SIZES]
+                + [
+                    optimal_size(by_size),
+                    f"{small_penalty(by_size) * 100:.1f}%",
+                ]
+            )
+        out.append(
+            format_table(
+                ["net speed"]
+                + [f"sp_{s}" for s in SIZES]
+                + ["best", "256B penalty"],
+                rows,
+                title=(
+                    f"Ablation C ({scheme}): runtime (ms) vs network "
+                    f"speedup ({APP}, 1/2-mem)"
+                ),
+            )
+        )
+    return "\n\n".join(out)
+
+
+def test_abl_net_speed(report):
+    totals = report(run, render)
+    for scheme in SCHEMES:
+        by_speed = totals[scheme]
+        # Faster networks help across the board.
+        for size in SIZES:
+            assert by_speed[8.0][size] < by_speed[1.0][size]
+        # The optimal subpage size never grows with network speed.
+        optima = [optimal_size(by_speed[s]) for s in SPEEDUPS]
+        assert all(b <= a for a, b in zip(optima, optima[1:]))
+        # The very-small-subpage penalty shrinks monotonically.
+        penalties = [small_penalty(by_speed[s]) for s in SPEEDUPS]
+        assert all(b < a for a, b in zip(penalties, penalties[1:]))
+    # Pipelining prefers subpages at least as small as eager fetch does.
+    for speedup in SPEEDUPS:
+        assert optimal_size(totals["pipelined"][speedup]) <= optimal_size(
+            totals["eager"][speedup]
+        )

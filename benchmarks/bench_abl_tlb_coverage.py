@@ -1,0 +1,123 @@
+"""Ablation L: the TLB-coverage tension that motivates subpages.
+
+The paper's introduction: page sizes are being driven *up* (for TLB
+coverage and disk amortization) while high-speed networks want transfers
+*small* — subpages resolve the tension.  This bench makes the two halves
+of that tension measurable on one workload:
+
+* TLB cost falls as pages grow (a 32-entry TLB covers 32 KB of 1K pages
+  but 256 KB of 8K pages);
+* remote fault latency rises as pages grow (more bytes per fault);
+* eager subpage fetch on large pages gets the best of both: large-page
+  TLB coverage with small-transfer fault latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.net.latency import CalibratedLatencyModel
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.trace.synth.apps import build_app_trace
+
+APP = "modula3"
+PAGE_SIZES = (1024, 2048, 4096, 8192)
+TLB_ENTRIES = 32
+TLB_MISS_NS = 400.0
+
+
+def run() -> dict[str, object]:
+    base_trace = build_app_trace(APP)
+    footprint = base_trace.footprint_pages()  # in 8K pages
+
+    results: dict[int, object] = {}
+    for page_bytes in PAGE_SIZES:
+        trace = (
+            base_trace
+            if page_bytes == 8192
+            else base_trace.with_page_size(page_bytes)
+        )
+        config = SimulationConfig(
+            # Same amount of physical memory (half the footprint) at
+            # every page size.
+            memory_pages=(footprint // 2) * (8192 // page_bytes),
+            scheme="fullpage",
+            subpage_bytes=page_bytes,
+            page_bytes=page_bytes,
+            latency_model=CalibratedLatencyModel(page_bytes=page_bytes),
+            tlb_entries=TLB_ENTRIES,
+            tlb_miss_ns=TLB_MISS_NS,
+        )
+        results[page_bytes] = simulate(trace, config)
+
+    # The subpage resolution: 8K pages (full TLB coverage) with eager
+    # 1K fetch (small-transfer latency).
+    subpage_config = SimulationConfig(
+        memory_pages=footprint // 2,
+        scheme="eager",
+        subpage_bytes=1024,
+        tlb_entries=TLB_ENTRIES,
+        tlb_miss_ns=TLB_MISS_NS,
+    )
+    return {
+        "by_page_size": results,
+        "subpages": simulate(base_trace, subpage_config),
+    }
+
+
+def render(out) -> str:
+    rows = []
+    for page_bytes, res in out["by_page_size"].items():
+        rows.append(
+            [
+                f"{page_bytes}B pages",
+                round(res.components.tlb_miss_ms, 1),
+                f"{res.tlb_stats['miss_rate'] * 100:.2f}%",
+                round(res.components.sp_latency_ms
+                      / max(1, res.page_faults), 2),
+                round(res.total_ms, 1),
+            ]
+        )
+    sub = out["subpages"]
+    rows.append(
+        [
+            "8K pages + eager 1K",
+            round(sub.components.tlb_miss_ms, 1),
+            f"{sub.tlb_stats['miss_rate'] * 100:.2f}%",
+            round(sub.components.sp_latency_ms
+                  / max(1, sub.page_faults), 2),
+            round(sub.total_ms, 1),
+        ]
+    )
+    return format_table(
+        ["configuration", "tlb ms", "tlb miss rate", "ms/fault",
+         "total ms"],
+        rows,
+        title=(
+            f"Ablation L: TLB coverage vs transfer size ({APP}, "
+            f"{TLB_ENTRIES}-entry TLB, half-footprint memory)"
+        ),
+    )
+
+
+def test_abl_tlb_coverage(report):
+    out = report(run, render)
+    by_size = out["by_page_size"]
+    # TLB miss time falls monotonically as pages grow...
+    tlb = [by_size[p].components.tlb_miss_ms for p in PAGE_SIZES]
+    assert all(b <= a for a, b in zip(tlb, tlb[1:]))
+    # ...while per-fault latency rises with page size.
+    per_fault = [
+        by_size[p].components.sp_latency_ms / max(1, by_size[p].page_faults)
+        for p in PAGE_SIZES
+    ]
+    assert all(b > a for a, b in zip(per_fault, per_fault[1:]))
+    # The subpage configuration gets large-page TLB behaviour with
+    # small-transfer fault latency — and the best total time.
+    sub = out["subpages"]
+    assert sub.components.tlb_miss_ms == pytest.approx(
+        by_size[8192].components.tlb_miss_ms, rel=0.2
+    )
+    assert sub.total_ms < min(r.total_ms for r in by_size.values())

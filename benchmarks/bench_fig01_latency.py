@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 1 (latency vs page size for disks and networks).
+
+Run with ``pytest benchmarks/bench_fig01_latency.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import fig01_latency
+
+
+def test_fig01_latency(report):
+    """Regenerate and print the reproduction."""
+    report(fig01_latency.run, fig01_latency.render)

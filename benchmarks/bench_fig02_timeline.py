@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 2 (remote page fetch timelines).
+
+Run with ``pytest benchmarks/bench_fig02_timeline.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import fig02_timeline
+
+
+def test_fig02_timeline(report):
+    """Regenerate and print the reproduction."""
+    report(fig02_timeline.run, fig02_timeline.render)

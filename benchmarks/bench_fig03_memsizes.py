@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 3 (subpage performance for 3 memory sizes (Modula-3)).
+
+Run with ``pytest benchmarks/bench_fig03_memsizes.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import fig03_memsizes
+
+
+def test_fig03_memsizes(report):
+    """Regenerate and print the reproduction."""
+    report(fig03_memsizes.run, fig03_memsizes.render)

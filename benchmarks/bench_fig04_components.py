@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 4 (runtime components at 1/2 memory (Modula-3)).
+
+Run with ``pytest benchmarks/bench_fig04_components.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import fig04_components
+
+
+def test_fig04_components(report):
+    """Regenerate and print the reproduction."""
+    report(fig04_components.run, fig04_components.render)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 5 (sorted per-fault waiting times (Modula-3)).
+
+Run with ``pytest benchmarks/bench_fig05_waiting.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import fig05_waiting
+
+
+def test_fig05_waiting(report):
+    """Regenerate and print the reproduction."""
+    report(fig05_waiting.run, fig05_waiting.render)

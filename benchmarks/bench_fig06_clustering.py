@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 6 (temporal clustering of page faults (Modula-3)).
+
+Run with ``pytest benchmarks/bench_fig06_clustering.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import fig06_clustering
+
+
+def test_fig06_clustering(report):
+    """Regenerate and print the reproduction."""
+    report(fig06_clustering.run, fig06_clustering.render)

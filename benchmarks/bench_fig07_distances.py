@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 7 (distance to next accessed subpage (Modula-3)).
+
+Run with ``pytest benchmarks/bench_fig07_distances.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import fig07_distances
+
+
+def test_fig07_distances(report):
+    """Regenerate and print the reproduction."""
+    report(fig07_distances.run, fig07_distances.render)

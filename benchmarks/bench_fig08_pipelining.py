@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 8 (eager fullpage fetch vs subpage pipelining (Modula-3)).
+
+Run with ``pytest benchmarks/bench_fig08_pipelining.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import fig08_pipelining
+
+
+def test_fig08_pipelining(report):
+    """Regenerate and print the reproduction."""
+    report(fig08_pipelining.run, fig08_pipelining.render)

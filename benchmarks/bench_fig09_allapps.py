@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 9 (execution-time reduction for all five applications).
+
+Run with ``pytest benchmarks/bench_fig09_allapps.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import fig09_allapps
+
+
+def test_fig09_allapps(report):
+    """Regenerate and print the reproduction."""
+    report(fig09_allapps.run, fig09_allapps.render)

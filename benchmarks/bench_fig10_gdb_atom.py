@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Figure 10 (temporal clustering for gdb and Atom).
+
+Run with ``pytest benchmarks/bench_fig10_gdb_atom.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import fig10_gdb_atom
+
+
+def test_fig10_gdb_atom(report):
+    """Regenerate and print the reproduction."""
+    report(fig10_gdb_atom.run, fig10_gdb_atom.render)

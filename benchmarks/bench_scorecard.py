@@ -1,0 +1,12 @@
+"""Benchmark: the paper-vs-measured scorecard (the acceptance check).
+
+Regenerates every headline claim of the paper with its measured value and
+acceptance band; fails if any claim drifts out of band.
+"""
+
+from repro.experiments import scorecard
+
+
+def test_scorecard(report):
+    card = report(scorecard.run, scorecard.render)
+    assert card.all_ok, [c.claim_id for c in card.failing()]

@@ -1,0 +1,64 @@
+"""Engine benchmarks: simulator and trace-pipeline throughput.
+
+Unlike the figure benches (one-shot experiment regenerations), these are
+conventional micro-benchmarks with repeated rounds: how fast the
+simulator consumes compressed runs, and how fast traces are generated
+and compressed.  Useful for catching performance regressions in the hot
+loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.trace.compress import compress_references
+from repro.trace.synth.apps import build_app_trace
+
+
+@pytest.fixture(scope="module")
+def mid_trace():
+    """~40k-run mixed workload (deterministic)."""
+    rng = np.random.default_rng(0)
+    visits = rng.integers(0, 400, size=60_000)
+    offsets = rng.integers(0, 96, size=60_000)
+    base = visits * 8192 + offsets * 64
+    runs = np.repeat(base, 8) + np.tile(
+        np.arange(8, dtype=np.int64) * 8, 60_000
+    )
+    return compress_references(runs, name="throughput")
+
+
+def test_simulate_eager_throughput(benchmark, mid_trace):
+    config = SimulationConfig(
+        memory_pages=128, scheme="eager", subpage_bytes=1024
+    )
+    result = benchmark(simulate, mid_trace, config)
+    assert result.page_faults > 0
+    runs_per_s = mid_trace.num_runs / benchmark.stats["mean"]
+    print(f"\n  {runs_per_s / 1e3:.0f}k runs/s, "
+          f"{mid_trace.num_references / benchmark.stats['mean'] / 1e6:.1f}M"
+          " refs/s")
+
+
+def test_simulate_fullpage_throughput(benchmark, mid_trace):
+    config = SimulationConfig(
+        memory_pages=128, scheme="fullpage", subpage_bytes=8192
+    )
+    result = benchmark(simulate, mid_trace, config)
+    assert result.page_faults > 0
+
+
+def test_trace_generation_throughput(benchmark):
+    trace = benchmark(build_app_trace, "gdb")
+    assert trace.num_runs > 10_000
+
+
+def test_compression_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    addrs = rng.integers(0, 1 << 28, size=500_000)
+
+    trace = benchmark(compress_references, addrs)
+    assert trace.num_references == 500_000

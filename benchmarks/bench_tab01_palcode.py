@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Table 1 (PALcode load/store emulation performance).
+
+Run with ``pytest benchmarks/bench_tab01_palcode.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import tab01_palcode
+
+
+def test_tab01_palcode(report):
+    """Regenerate and print the reproduction."""
+    report(tab01_palcode.run, tab01_palcode.render)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's Table 2 (page-fault latencies for eager fullpage fetch).
+
+Run with ``pytest benchmarks/bench_tab02_latencies.py --benchmark-only``; the rows
+and series the paper reports are printed alongside the timing.
+"""
+
+from repro.experiments import tab02_latencies
+
+
+def test_tab02_latencies(report):
+    """Regenerate and print the reproduction."""
+    report(tab02_latencies.run, tab02_latencies.render)

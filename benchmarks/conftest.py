@@ -1,0 +1,29 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_*.py`` file regenerates one of the paper's tables/figures
+(or an ablation) and prints the same rows/series the paper reports.  The
+``report`` fixture times the experiment via pytest-benchmark and emits the
+rendered report around the benchmark table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def report(benchmark, capsys):
+    """Run an experiment once under the benchmark timer, print its
+    rendered report, and return the experiment result."""
+
+    def run_and_report(run_fn, render_fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            run_fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(render_fn(result))
+            print()
+        return result
+
+    return run_and_report

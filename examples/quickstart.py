@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one application under three paging strategies.
+
+Builds the Modula-3 compile workload, then runs it at half of its memory
+footprint with (a) disk paging, (b) classic global-memory paging with
+full 8K pages, and (c) eager fullpage fetch with 1K subpages — the
+paper's headline configuration — and prints the comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimulationConfig, build_app_trace, memory_pages_for, simulate
+from repro.analysis.report import format_table, percent
+
+
+def main() -> None:
+    trace = build_app_trace("modula3")
+    memory = memory_pages_for(trace, fraction=0.5)
+    print(
+        f"workload: {trace.name}, {trace.num_references / 1e6:.1f}M "
+        f"references, footprint {trace.footprint_pages()} pages, "
+        f"memory {memory} pages (1/2-mem)\n"
+    )
+
+    disk = simulate(
+        trace,
+        SimulationConfig(
+            memory_pages=memory,
+            backing="disk",
+            scheme="fullpage",
+            subpage_bytes=8192,
+        ),
+    )
+    fullpage = simulate(
+        trace,
+        SimulationConfig(
+            memory_pages=memory, scheme="fullpage", subpage_bytes=8192
+        ),
+    )
+    subpages = simulate(
+        trace,
+        SimulationConfig(
+            memory_pages=memory, scheme="eager", subpage_bytes=1024
+        ),
+    )
+
+    rows = []
+    for result in (disk, fullpage, subpages):
+        c = result.components
+        rows.append(
+            [
+                result.scheme_label,
+                round(result.total_ms, 1),
+                round(c.exec_ms, 1),
+                round(c.sp_latency_ms, 1),
+                round(c.page_wait_ms, 1),
+                result.page_faults,
+            ]
+        )
+    print(
+        format_table(
+            ["config", "total ms", "exec", "sp_latency", "page_wait",
+             "faults"],
+            rows,
+        )
+    )
+    print()
+    print(
+        f"global memory vs disk:      "
+        f"{fullpage.speedup_vs(disk):.2f}x speedup"
+    )
+    print(
+        f"1K subpages vs full pages:  "
+        f"{percent(subpages.improvement_vs(fullpage))} runtime reduction"
+    )
+    print(
+        f"1K subpages vs disk:        "
+        f"{subpages.speedup_vs(disk):.2f}x speedup"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare every fetch scheme — including pipelining variants — on one app.
+
+Reproduces the flavor of the paper's Sections 4.1-4.3 in one table:
+fullpage, lazy, eager, and several subpage-pipelining configurations
+(ideal controller, measured AN2 interrupt costs, doubled transfers,
+alternative sequencing).
+
+Run:  python examples/scheme_comparison.py [app]
+"""
+
+import sys
+
+from repro import SimulationConfig, build_app_trace, memory_pages_for, simulate
+from repro.analysis.overlap import attribute_overlap
+from repro.analysis.report import format_table, percent
+from repro.net.calibration import interrupt_cost_ms
+
+SUBPAGE = 1024
+
+CONFIGS = [
+    ("p_8192 fullpage", "fullpage", 8192, {}),
+    ("lazy 1K", "lazy", SUBPAGE, {}),
+    ("eager 1K", "eager", SUBPAGE, {}),
+    ("pipelined 1K (+1/-1)", "pipelined", SUBPAGE, {}),
+    (
+        "pipelined 1K (ascending)",
+        "pipelined",
+        SUBPAGE,
+        {"sequencer": "ascending"},
+    ),
+    (
+        "pipelined 1K (doubled follow-on)",
+        "pipelined",
+        SUBPAGE,
+        {"segment_subpages": 2},
+    ),
+    (
+        "pipelined 1K (doubled initial)",
+        "pipelined",
+        SUBPAGE,
+        {"double_initial": True},
+    ),
+    (
+        "pipelined 1K (AN2 interrupts)",
+        "pipelined",
+        SUBPAGE,
+        {"interrupt_ms": interrupt_cost_ms(SUBPAGE)},
+    ),
+]
+
+
+def main(app: str = "modula3") -> None:
+    trace = build_app_trace(app)
+    memory = memory_pages_for(trace, 0.5)
+    print(f"{app} at 1/2-mem ({memory} pages)\n")
+
+    results = {}
+    for label, scheme, subpage, kwargs in CONFIGS:
+        config = SimulationConfig(
+            memory_pages=memory,
+            scheme=scheme,
+            scheme_kwargs=dict(kwargs),
+            subpage_bytes=subpage,
+        )
+        results[label] = simulate(trace, config)
+
+    baseline = results["p_8192 fullpage"]
+    rows = []
+    for label, result in results.items():
+        overlap = attribute_overlap(result)
+        rows.append(
+            [
+                label,
+                round(result.total_ms, 1),
+                percent(result.improvement_vs(baseline)),
+                round(result.components.page_wait_ms, 1),
+                percent(overlap.io_share, 0),
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "total ms", "vs fullpage", "page_wait", "I/O share"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "modula3")

@@ -1,0 +1,79 @@
+"""repro — reproduction of "Reducing Network Latency Using Subpages in a
+Global Memory Environment" (Jamrozik et al., ASPLOS 1996).
+
+The package rebuilds the paper's full stack:
+
+* :mod:`repro.core` — the subpage fetch schemes (fullpage, lazy, eager
+  fullpage fetch, subpage pipelining) and their transfer plans;
+* :mod:`repro.sim` — the trace-driven simulator (memory accesses as
+  clock events, LRU paging, congestion, per-fault accounting);
+* :mod:`repro.net` — the calibrated AN2/Alpha latency models, the
+  five-resource fetch timeline, and link congestion;
+* :mod:`repro.gms` — the global memory system substrate (directories,
+  idle-node global caching, epoch replacement);
+* :mod:`repro.disk` — the disk baseline;
+* :mod:`repro.palcode` — the software subpage-protection cost model;
+* :mod:`repro.trace` — trace representation, compression, and the five
+  calibrated synthetic application workloads;
+* :mod:`repro.analysis` — the paper's analytical views (waiting curves,
+  clustering, distances, overlap attribution);
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import SimulationConfig, build_app_trace, simulate
+
+    trace = build_app_trace("modula3")
+    config = SimulationConfig(memory_pages=200, scheme="eager",
+                              subpage_bytes=1024)
+    result = simulate(trace, config)
+    print(result.total_ms, result.components.as_dict())
+"""
+
+from repro.core import (
+    EagerFullPageFetch,
+    FetchScheme,
+    FullPageFetch,
+    LazySubpageFetch,
+    SubpagePipelining,
+    make_scheme,
+)
+from repro.net.latency import (
+    AnalyticLatencyModel,
+    CalibratedLatencyModel,
+    LatencyModel,
+    ScaledLatencyModel,
+)
+from repro.sim import (
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    memory_pages_for,
+    simulate,
+)
+from repro.trace import RunTrace, build_app_trace, load_trace, save_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticLatencyModel",
+    "CalibratedLatencyModel",
+    "EagerFullPageFetch",
+    "FetchScheme",
+    "FullPageFetch",
+    "LatencyModel",
+    "LazySubpageFetch",
+    "RunTrace",
+    "ScaledLatencyModel",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "SubpagePipelining",
+    "__version__",
+    "build_app_trace",
+    "load_trace",
+    "make_scheme",
+    "memory_pages_for",
+    "save_trace",
+    "simulate",
+]

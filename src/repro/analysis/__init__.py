@@ -1,0 +1,61 @@
+"""Analysis: turning simulation results into the paper's figures.
+
+Each module corresponds to an analytical view in the paper:
+
+* :mod:`repro.analysis.waiting` — sorted per-fault waiting-time curves and
+  their three-segment decomposition (Figure 5);
+* :mod:`repro.analysis.clustering` — temporal fault clustering and
+  burstiness metrics (Figures 6 and 10);
+* :mod:`repro.analysis.distances` — next-subpage distance distributions
+  (Figure 7);
+* :mod:`repro.analysis.overlap` — attribution of eager-fetch benefit to
+  overlapped I/O vs overlapped computation (Section 4.4);
+* :mod:`repro.analysis.speedup` — improvement/speedup summaries
+  (Figures 3, 8, 9);
+* :mod:`repro.analysis.report` — plain-text tables and bar charts for
+  terminal output.
+"""
+
+from repro.analysis.clustering import (
+    ClusteringCurve,
+    burstiness_index,
+    clustering_curve,
+    fraction_in_bursts,
+)
+from repro.analysis.distances import (
+    DistanceDistribution,
+    distance_distribution,
+)
+from repro.analysis.overlap import OverlapAttribution, attribute_overlap
+from repro.analysis.report import (
+    ascii_bar_chart,
+    format_table,
+    percent,
+)
+from repro.analysis.speedup import (
+    ImprovementSummary,
+    improvement_summary,
+)
+from repro.analysis.waiting import (
+    WaitingCurve,
+    WaitingSegments,
+    waiting_curve,
+)
+
+__all__ = [
+    "ClusteringCurve",
+    "DistanceDistribution",
+    "ImprovementSummary",
+    "OverlapAttribution",
+    "WaitingCurve",
+    "WaitingSegments",
+    "ascii_bar_chart",
+    "attribute_overlap",
+    "burstiness_index",
+    "clustering_curve",
+    "distance_distribution",
+    "format_table",
+    "fraction_in_bursts",
+    "improvement_summary",
+    "percent",
+]

@@ -1,0 +1,96 @@
+"""Temporal clustering of page faults (paper Figures 6 and 10).
+
+The paper plots cumulative fault count against simulated time: steep
+(near-vertical) jumps are bursts — periods of high fault rate, typically
+program phase changes — and it is during those bursts that eager fullpage
+fetch finds its I/O overlap.  "The larger the fraction of faults that
+occur during these periods of high faulting the greater the expected
+increase in performance" (Section 4.2).
+
+Two scalar summaries accompany the curve:
+
+* :func:`fraction_in_bursts` — the fraction of faults whose gap to the
+  previous fault is below a threshold (defaults to the rest-of-page
+  transfer time, the natural scale for I/O overlap);
+* :func:`burstiness_index` — the coefficient of variation of inter-fault
+  gaps (0 for perfectly regular arrivals, ~1 for Poisson, larger for
+  bursty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True, slots=True)
+class ClusteringCurve:
+    """Cumulative faults vs time for one run."""
+
+    label: str
+    times_ms: np.ndarray  # fault occurrence times, ascending
+
+    @property
+    def num_faults(self) -> int:
+        return int(self.times_ms.size)
+
+    @property
+    def duration_ms(self) -> float:
+        return float(self.times_ms[-1]) if self.times_ms.size else 0.0
+
+    def cumulative(self) -> tuple[np.ndarray, np.ndarray]:
+        """(time, cumulative fault count) arrays, ready to plot."""
+        counts = np.arange(1, self.times_ms.size + 1)
+        return self.times_ms, counts
+
+    def sample(self, points: int = 60) -> list[tuple[float, int]]:
+        """Evenly-sampled (time, count) pairs for terminal plotting."""
+        if self.times_ms.size == 0:
+            return []
+        idx = np.linspace(
+            0, self.times_ms.size - 1, num=min(points, self.times_ms.size)
+        ).astype(int)
+        return [(float(self.times_ms[i]), int(i) + 1) for i in idx]
+
+    def gaps_ms(self) -> np.ndarray:
+        if self.times_ms.size < 2:
+            return np.empty(0)
+        return np.diff(self.times_ms)
+
+
+def clustering_curve(
+    result: SimulationResult, label: str | None = None
+) -> ClusteringCurve:
+    times = np.sort(result.fault_times_ms())
+    return ClusteringCurve(
+        label=label if label is not None else result.trace_name,
+        times_ms=times,
+    )
+
+
+def fraction_in_bursts(
+    curve: ClusteringCurve, gap_threshold_ms: float = 1.5
+) -> float:
+    """Fraction of faults arriving within ``gap_threshold_ms`` of the
+    previous fault — i.e. during a high-fault-rate period."""
+    if gap_threshold_ms <= 0:
+        raise ConfigError("gap threshold must be positive")
+    gaps = curve.gaps_ms()
+    if gaps.size == 0:
+        return 0.0
+    return float(np.count_nonzero(gaps <= gap_threshold_ms)) / gaps.size
+
+
+def burstiness_index(curve: ClusteringCurve) -> float:
+    """Coefficient of variation of inter-fault gaps."""
+    gaps = curve.gaps_ms()
+    if gaps.size == 0:
+        return 0.0
+    mean = float(gaps.mean())
+    if mean <= 0:
+        return 0.0
+    return float(gaps.std()) / mean

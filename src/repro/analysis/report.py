@@ -1,0 +1,106 @@
+"""Plain-text reporting: tables and bar charts for terminal output.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures contain; these helpers keep that output consistent and
+readable without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ConfigError
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string ("0.254" -> "25.4%")."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_digits: int = 2,
+) -> str:
+    """Render a left/right-aligned monospace table.
+
+    Numbers are right-aligned and formatted to ``float_digits``; strings
+    are left-aligned.
+    """
+    if not headers:
+        raise ConfigError("table needs headers")
+
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return f"{cell:.{float_digits}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    numeric = [
+        bool(str_rows)
+        and all(_is_numeric(raw[i]) for raw in rows)
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(
+                cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i])
+            )
+        return "  ".join(parts).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart out of '#' characters."""
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must parallel")
+    if width < 1:
+        raise ConfigError("width must be >= 1")
+    out = []
+    if title:
+        out.append(title)
+    if not values:
+        return "\n".join(out)
+    peak = max(values)
+    label_width = max(len(l) for l in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * (0 if peak <= 0 else max(
+            1 if value > 0 else 0, round(value / peak * width)
+        ))
+        out.append(
+            f"{label.ljust(label_width)}  {bar} {value:.1f}{unit}"
+        )
+    return "\n".join(out)
+
+
+def _is_numeric(cell: Any) -> bool:
+    return isinstance(cell, (int, float)) and not isinstance(cell, bool)

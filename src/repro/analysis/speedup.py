@@ -1,0 +1,67 @@
+"""Improvement and speedup summaries (Figures 3, 8, 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True, slots=True)
+class ImprovementSummary:
+    """One candidate's gains over a baseline run."""
+
+    label: str
+    baseline_ms: float
+    candidate_ms: float
+    baseline_page_wait_ms: float
+    candidate_page_wait_ms: float
+
+    @property
+    def improvement(self) -> float:
+        """Fractional runtime reduction (the paper's "% improvement")."""
+        if self.baseline_ms <= 0:
+            return 0.0
+        return 1.0 - self.candidate_ms / self.baseline_ms
+
+    @property
+    def speedup(self) -> float:
+        if self.candidate_ms <= 0:
+            return float("inf")
+        return self.baseline_ms / self.candidate_ms
+
+    @property
+    def page_wait_reduction(self) -> float:
+        """Fractional page_wait reduction (Figure 8: 42% at 1K)."""
+        if self.baseline_page_wait_ms <= 0:
+            return 0.0
+        return 1.0 - self.candidate_page_wait_ms / self.baseline_page_wait_ms
+
+
+def improvement_summary(
+    baseline: SimulationResult,
+    candidate: SimulationResult,
+    label: str | None = None,
+) -> ImprovementSummary:
+    """Summarize ``candidate`` against ``baseline``.
+
+    Both runs must be of the same trace, or the comparison is
+    meaningless.
+    """
+    if baseline.trace_name != candidate.trace_name:
+        raise ConfigError(
+            f"comparing different traces: {baseline.trace_name!r} vs "
+            f"{candidate.trace_name!r}"
+        )
+    return ImprovementSummary(
+        label=(
+            label
+            if label is not None
+            else f"{candidate.scheme_label} vs {baseline.scheme_label}"
+        ),
+        baseline_ms=baseline.total_ms,
+        candidate_ms=candidate.total_ms,
+        baseline_page_wait_ms=baseline.components.page_wait_ms,
+        candidate_page_wait_ms=candidate.components.page_wait_ms,
+    )

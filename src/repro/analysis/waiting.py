@@ -1,0 +1,131 @@
+"""Sorted per-fault waiting-time curves (paper Figure 5).
+
+For each page fault the total waiting time is the initial subpage latency
+plus any later stalls for the remainder of that page.  Sorting faults by
+waiting time (descending) produces a curve with three characteristic
+sections (paper Section 4.2):
+
+1. a **best-case plateau** on the right at the subpage transfer latency —
+   faults that resumed after the subpage and never stalled again;
+2. a **worst-case plateau** on the left at the full-page transfer latency
+   — faults that quickly blocked until the whole page arrived;
+3. a sloped **middle region** where partial overlap occurred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True, slots=True)
+class WaitingSegments:
+    """Decomposition of a waiting curve into its three sections.
+
+    Faults within ``tolerance`` of the best-case (subpage) latency count
+    as best-case; within ``tolerance`` of the worst-case (fullpage-ish)
+    latency as worst-case; the rest form the middle.
+    """
+
+    best_case_faults: int
+    middle_faults: int
+    worst_case_faults: int
+    best_case_ms: float
+    worst_case_ms: float
+
+    @property
+    def total_faults(self) -> int:
+        return (
+            self.best_case_faults
+            + self.middle_faults
+            + self.worst_case_faults
+        )
+
+    @property
+    def best_case_fraction(self) -> float:
+        total = self.total_faults
+        return 0.0 if not total else self.best_case_faults / total
+
+    @property
+    def worst_case_fraction(self) -> float:
+        total = self.total_faults
+        return 0.0 if not total else self.worst_case_faults / total
+
+
+@dataclass(frozen=True, slots=True)
+class WaitingCurve:
+    """One Figure 5 curve: descending per-fault waiting times."""
+
+    label: str
+    waits_ms: np.ndarray  # sorted descending
+    subpage_latency_ms: float
+    fullpage_latency_ms: float
+
+    @property
+    def num_faults(self) -> int:
+        return int(self.waits_ms.size)
+
+    @property
+    def right_intercept_ms(self) -> float:
+        """Waiting time of the luckiest fault (the best case)."""
+        return float(self.waits_ms[-1]) if self.waits_ms.size else 0.0
+
+    @property
+    def left_intercept_ms(self) -> float:
+        """Waiting time of the unluckiest fault (the worst case)."""
+        return float(self.waits_ms[0]) if self.waits_ms.size else 0.0
+
+    def segments(self, tolerance: float = 0.08) -> WaitingSegments:
+        """Classify faults into the three sections of Section 4.2.
+
+        ``tolerance`` is relative to the fullpage latency.
+        """
+        if self.waits_ms.size == 0:
+            return WaitingSegments(0, 0, 0, 0.0, 0.0)
+        margin = tolerance * self.fullpage_latency_ms
+        best = int(
+            np.count_nonzero(
+                self.waits_ms <= self.subpage_latency_ms + margin
+            )
+        )
+        worst = int(
+            np.count_nonzero(
+                self.waits_ms >= self.fullpage_latency_ms - margin
+            )
+        )
+        middle = max(0, self.num_faults - best - worst)
+        return WaitingSegments(
+            best_case_faults=best,
+            middle_faults=middle,
+            worst_case_faults=worst,
+            best_case_ms=self.subpage_latency_ms,
+            worst_case_ms=self.fullpage_latency_ms,
+        )
+
+    def sample(self, points: int = 50) -> list[tuple[int, float]]:
+        """Evenly-sampled (fault index, waiting ms) pairs for plotting."""
+        if self.waits_ms.size == 0:
+            return []
+        idx = np.linspace(0, self.waits_ms.size - 1, num=min(
+            points, self.waits_ms.size
+        )).astype(int)
+        return [(int(i), float(self.waits_ms[i])) for i in idx]
+
+
+def waiting_curve(
+    result: SimulationResult,
+    subpage_latency_ms: float,
+    fullpage_latency_ms: float,
+    label: str | None = None,
+) -> WaitingCurve:
+    """Build the Figure 5 curve for one simulation run."""
+    waits = np.sort(result.waiting_times_ms())[::-1]
+    return WaitingCurve(
+        label=label if label is not None else result.scheme_label,
+        waits_ms=waits,
+        subpage_latency_ms=subpage_latency_ms,
+        fullpage_latency_ms=fullpage_latency_ms,
+    )

@@ -1,0 +1,60 @@
+"""The paper's core contribution: subpage fetch schemes.
+
+A *subpage* is a power-of-two subunit of a full page (Section 2.1).  When
+a program faults on a non-resident page, a :class:`FetchScheme` decides
+what to transfer and when the program resumes:
+
+* :class:`FullPageFetch` — the GMS baseline: ship the whole 8K page.
+* :class:`LazySubpageFetch` — ship only the faulted subpage; later
+  subpages fault individually (equivalent to shrinking the page size).
+* :class:`EagerFullPageFetch` — ship the faulted subpage, resume the
+  program, and send the remainder of the page as one follow-on transfer.
+* :class:`SubpagePipelining` — ship the faulted subpage, then pipeline
+  further subpages in predicted access order (+1/-1 neighbors first),
+  then the remainder.
+
+Schemes turn a :class:`FaultContext` into a :class:`TransferPlan` — resume
+time plus per-subpage arrival times plus wire occupancy — which the
+simulator executes against its residency, replacement, and congestion
+state.
+"""
+
+from repro.core.fault import FaultKind, FaultRecord
+from repro.core.plans import FaultContext, TransferPlan
+from repro.core.schemes import (
+    EagerFullPageFetch,
+    FetchScheme,
+    FullPageFetch,
+    LazySubpageFetch,
+    SubpagePipelining,
+    make_scheme,
+    scheme_names,
+)
+from repro.core.sequencers import (
+    AscendingSequencer,
+    DistanceSequencer,
+    NeighborSequencer,
+    Sequencer,
+    make_sequencer,
+)
+from repro.core.validbits import SubpageBitmap
+
+__all__ = [
+    "AscendingSequencer",
+    "DistanceSequencer",
+    "EagerFullPageFetch",
+    "FaultContext",
+    "FaultKind",
+    "FaultRecord",
+    "FetchScheme",
+    "FullPageFetch",
+    "LazySubpageFetch",
+    "NeighborSequencer",
+    "Sequencer",
+    "SubpageBitmap",
+    "SubpagePipelining",
+    "TransferPlan",
+    "make_scheme",
+    "make_sequencer",
+    "scheme_names",
+]

@@ -1,0 +1,68 @@
+"""Fault records: the per-fault bookkeeping behind Figures 4–10.
+
+Each page fault produces one :class:`FaultRecord`.  The subpage latency is
+known when the fault is serviced; the page-wait component accrues
+afterwards, as the program stalls on not-yet-arrived subpages of the same
+page; the rest-of-page window enables the I/O-vs-computation overlap
+attribution of Section 4.4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FaultKind(enum.Enum):
+    """How a fault was serviced."""
+
+    REMOTE = "remote"  # from another node's memory (or local-global)
+    DISK = "disk"
+    SUBPAGE = "subpage"  # lazy scheme: fault on a subpage of a resident page
+
+
+@dataclass(slots=True)
+class FaultRecord:
+    """Timing and attribution data for one fault."""
+
+    page: int
+    subpage: int
+    kind: FaultKind
+    #: Simulated time at which the fault occurred.
+    time_ms: float
+    #: Time the program stalled before resuming (the sp_latency of Fig 4;
+    #: for fullpage fetch this is the whole fault latency).
+    sp_latency_ms: float
+    #: Window during which the rest of the page was in flight:
+    #: [resume, rest-of-page arrival].  Zero-length for fullpage/disk.
+    window_start_ms: float = 0.0
+    window_end_ms: float = 0.0
+    #: Stalls attributed to *this* fault's page after resume, i.e. waiting
+    #: for in-flight subpages of the same page (page_wait in Fig 4), as
+    #: (start, end) intervals in simulated time.
+    page_wait_intervals: list[tuple[float, float]] = field(
+        default_factory=list
+    )
+    #: Extra requester-CPU cost charged for this fault (e.g. per-message
+    #: interrupt handling for pipelined subpages on the AN2 prototype).
+    cpu_overhead_ms: float = 0.0
+    #: Whether this fault began while another page's background transfer
+    #: was still in flight (an I/O-overlap opportunity).
+    overlapped_another: bool = False
+
+    @property
+    def page_wait_ms(self) -> float:
+        return sum(end - start for start, end in self.page_wait_intervals)
+
+    @property
+    def waiting_ms(self) -> float:
+        """Total waiting caused by this fault (Figure 5's Y axis)."""
+        return self.sp_latency_ms + self.page_wait_ms
+
+    @property
+    def window_ms(self) -> float:
+        return max(0.0, self.window_end_ms - self.window_start_ms)
+
+    def add_page_wait(self, start_ms: float, end_ms: float) -> None:
+        if end_ms > start_ms:
+            self.page_wait_intervals.append((start_ms, end_ms))

@@ -1,0 +1,88 @@
+"""Fault contexts and transfer plans: the scheme <-> simulator contract.
+
+On a page fault the simulator builds a :class:`FaultContext` and asks the
+configured scheme for a :class:`TransferPlan`.  The plan is expressed in
+*idle-network* times; the simulator then applies congestion (demand
+priority, background queueing) via :class:`repro.net.congestion.LinkModel`,
+which may slide the background arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemeError
+from repro.net.latency import LatencyModel
+
+
+@dataclass(frozen=True, slots=True)
+class FaultContext:
+    """Everything a scheme may consult when planning a fault."""
+
+    now_ms: float
+    page: int
+    faulted_subpage: int
+    #: Block index (finest granularity) within the page, for schemes that
+    #: care where inside the subpage the faulted word lies.
+    faulted_block: int
+    subpage_bytes: int
+    page_bytes: int
+    latency: LatencyModel
+
+    @property
+    def subpages_per_page(self) -> int:
+        return self.page_bytes // self.subpage_bytes
+
+    def subpage_exists(self, index: int) -> bool:
+        return 0 <= index < self.subpages_per_page
+
+
+@dataclass(slots=True)
+class TransferPlan:
+    """What a scheme decided to transfer for one fault.
+
+    Attributes
+    ----------
+    resume_ms:
+        Absolute time at which the faulted program resumes (the faulted
+        subpage — or full page — has arrived).
+    arrivals_ms:
+        Absolute idle-network arrival time per subpage index.  Must cover
+        the faulted subpage (at ``resume_ms``); may cover any subset of
+        the rest (lazy fetch covers only the faulted one).
+    demand_wire_ms:
+        Wire occupancy of the demand (blocking) part of the transfer.
+    background_ready_ms / background_wire_ms:
+        When the background (follow-on) part is ready to use the wire and
+        how long it occupies it; zero wire time means no background part.
+    cpu_overhead_ms:
+        Requester-CPU cost charged when the transfer completes (e.g.
+        receiver interrupts for pipelined messages on real controllers).
+    """
+
+    resume_ms: float
+    arrivals_ms: dict[int, float]
+    demand_wire_ms: float
+    background_ready_ms: float = 0.0
+    background_wire_ms: float = 0.0
+    cpu_overhead_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.arrivals_ms:
+            raise SchemeError("a transfer plan must deliver something")
+        if self.demand_wire_ms < 0 or self.background_wire_ms < 0:
+            raise SchemeError("wire times cannot be negative")
+        if self.cpu_overhead_ms < 0:
+            raise SchemeError("cpu overhead cannot be negative")
+
+    @property
+    def has_background(self) -> bool:
+        return self.background_wire_ms > 0
+
+    @property
+    def covered_subpages(self) -> set[int]:
+        return set(self.arrivals_ms)
+
+    @property
+    def last_arrival_ms(self) -> float:
+        return max(self.arrivals_ms.values())

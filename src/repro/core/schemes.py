@@ -1,0 +1,271 @@
+"""The subpage fetch schemes (paper Section 2.1).
+
+Every scheme answers a fault with a :class:`TransferPlan` expressed in
+idle-network absolute times; the simulator afterwards applies link
+congestion.  All latency numbers come from the context's
+:class:`~repro.net.latency.LatencyModel`, i.e. from the prototype's
+calibrated measurements by default.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigError, SchemeError, UnknownSchemeError
+from repro.core.plans import FaultContext, TransferPlan
+from repro.core.sequencers import Sequencer, make_sequencer
+
+
+class FetchScheme(ABC):
+    """Strategy for servicing a remote-memory page fault."""
+
+    #: Registry name; subclasses override.
+    name: str = "base"
+
+    @abstractmethod
+    def plan_fault(self, ctx: FaultContext) -> TransferPlan:
+        """Plan the transfers for a fault described by ``ctx``."""
+
+    def label(self, subpage_bytes: int) -> str:
+        """Short label used in result tables (e.g. ``sp_1024``)."""
+        return f"{self.name}_{subpage_bytes}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FullPageFetch(FetchScheme):
+    """Baseline GMS behaviour: transfer the entire page, then resume."""
+
+    name = "fullpage"
+
+    def plan_fault(self, ctx: FaultContext) -> TransferPlan:
+        resume = ctx.now_ms + ctx.latency.fullpage_latency_ms()
+        arrivals = {i: resume for i in range(ctx.subpages_per_page)}
+        return TransferPlan(
+            resume_ms=resume,
+            arrivals_ms=arrivals,
+            demand_wire_ms=ctx.latency.wire_time_ms(ctx.page_bytes),
+        )
+
+    def label(self, subpage_bytes: int) -> str:
+        return "p_8192" if subpage_bytes else "p"
+
+
+class LazySubpageFetch(FetchScheme):
+    """Transfer only the faulted subpage; fetch the rest on demand.
+
+    "This is equivalent in many respects to simply reducing the page
+    size" (Section 2.1).  Accesses to other subpages of the page fault
+    individually (the simulator re-invokes the scheme per subpage).
+    """
+
+    name = "lazy"
+
+    def plan_fault(self, ctx: FaultContext) -> TransferPlan:
+        resume = ctx.now_ms + ctx.latency.subpage_latency_ms(
+            ctx.subpage_bytes
+        )
+        return TransferPlan(
+            resume_ms=resume,
+            arrivals_ms={ctx.faulted_subpage: resume},
+            demand_wire_ms=ctx.latency.wire_time_ms(ctx.subpage_bytes),
+        )
+
+
+class EagerFullPageFetch(FetchScheme):
+    """Transfer the faulted subpage, resume, ship the rest as one message.
+
+    The remainder's request overlaps the subpage's wire time on the
+    server, and the subpage's receive overlaps the remainder's wire time
+    on the faulting node (Section 3.2) — both effects are baked into the
+    calibrated rest-of-page latency (Table 2).
+    """
+
+    name = "eager"
+
+    def plan_fault(self, ctx: FaultContext) -> TransferPlan:
+        s = ctx.subpage_bytes
+        if s >= ctx.page_bytes:
+            return FullPageFetch().plan_fault(ctx)
+        resume = ctx.now_ms + ctx.latency.subpage_latency_ms(s)
+        rest = ctx.now_ms + ctx.latency.rest_of_page_ms(s)
+        arrivals = {i: rest for i in range(ctx.subpages_per_page)}
+        arrivals[ctx.faulted_subpage] = resume
+        demand_wire = ctx.latency.wire_time_ms(s)
+        return TransferPlan(
+            resume_ms=resume,
+            arrivals_ms=arrivals,
+            demand_wire_ms=demand_wire,
+            # The rest rides the wire right behind the subpage; the
+            # calibrated rest-of-page latency already accounts for that
+            # serialization, so the background's nominal wire slot starts
+            # where the demand's ends.
+            background_ready_ms=ctx.now_ms
+            + ctx.latency.request_fixed_ms
+            + demand_wire,
+            background_wire_ms=ctx.latency.wire_time_ms(ctx.page_bytes - s),
+        )
+
+    def label(self, subpage_bytes: int) -> str:
+        return f"sp_{subpage_bytes}"
+
+
+class SubpagePipelining(FetchScheme):
+    """Eager fetch with individually pipelined follow-on subpages.
+
+    After the faulted subpage, the first ``pipeline_count`` groups of
+    ``segment_subpages`` subpages (in the sequencer's predicted access
+    order) are shipped as separate small messages — each arriving one
+    wire-time (plus any per-message receiver cost) after the previous —
+    and the remainder of the page follows in one message.
+
+    Parameters
+    ----------
+    sequencer:
+        Transfer-order policy; the paper's evaluated scheme is the
+        ``"neighbor"`` (+1, -1) order (Section 4.3).
+    pipeline_count:
+        Number of individually pipelined messages (paper: 2).
+    segment_subpages:
+        Subpages per pipelined message; 2 reproduces the paper's "doubled
+        follow-on transfer" variant.
+    interrupt_ms:
+        Receiver-CPU cost per pipelined message.  0 models the paper's
+        idealized controller (its simulated results); the AN2 prototype's
+        measured costs are in
+        :data:`repro.net.calibration.PAPER_PIPELINE_INTERRUPT_MS`.
+    double_initial:
+        Reproduces the paper's other variant: fetch two subpages on the
+        initial fault, choosing the preceding or following neighbor
+        depending on where in the subpage the faulted word lies.
+    """
+
+    name = "pipelined"
+
+    def __init__(
+        self,
+        sequencer: str | Sequencer = "neighbor",
+        pipeline_count: int = 2,
+        segment_subpages: int = 1,
+        interrupt_ms: float = 0.0,
+        double_initial: bool = False,
+    ) -> None:
+        if pipeline_count < 0:
+            raise ConfigError("pipeline_count cannot be negative")
+        if segment_subpages < 1:
+            raise ConfigError("segment_subpages must be >= 1")
+        if interrupt_ms < 0:
+            raise ConfigError("interrupt_ms cannot be negative")
+        self.sequencer = make_sequencer(sequencer)
+        self.pipeline_count = pipeline_count
+        self.segment_subpages = segment_subpages
+        self.interrupt_ms = interrupt_ms
+        self.double_initial = double_initial
+
+    def plan_fault(self, ctx: FaultContext) -> TransferPlan:
+        s = ctx.subpage_bytes
+        spp = ctx.subpages_per_page
+        if s >= ctx.page_bytes or spp == 1:
+            return FullPageFetch().plan_fault(ctx)
+
+        initial = [ctx.faulted_subpage]
+        if self.double_initial and spp >= 2:
+            initial.append(self._initial_partner(ctx))
+        initial_bytes = s * len(initial)
+        resume = ctx.now_ms + ctx.latency.subpage_latency_ms(initial_bytes)
+        arrivals = {index: resume for index in initial}
+
+        order = [
+            index
+            for index in self.sequencer.order(ctx.faulted_subpage, spp)
+            if index not in arrivals
+        ]
+        wire_step = ctx.latency.wire_time_ms(s * self.segment_subpages)
+        messages = 0
+        t = resume
+        while messages < self.pipeline_count and order:
+            group, order = (
+                order[: self.segment_subpages],
+                order[self.segment_subpages :],
+            )
+            t += wire_step + self.interrupt_ms
+            for index in group:
+                arrivals[index] = t
+            messages += 1
+        last_pipelined = t
+
+        if order:
+            rest_base = ctx.now_ms + ctx.latency.rest_of_page_ms(s)
+            trailing = max(
+                rest_base + messages * self.interrupt_ms, last_pipelined
+            )
+            for index in order:
+                arrivals[index] = trailing
+
+        demand_wire = ctx.latency.wire_time_ms(initial_bytes)
+        return TransferPlan(
+            resume_ms=resume,
+            arrivals_ms=arrivals,
+            demand_wire_ms=demand_wire,
+            background_ready_ms=ctx.now_ms
+            + ctx.latency.request_fixed_ms
+            + demand_wire,
+            background_wire_ms=ctx.latency.wire_time_ms(
+                ctx.page_bytes - initial_bytes
+            ),
+            cpu_overhead_ms=messages * self.interrupt_ms,
+        )
+
+    def _initial_partner(self, ctx: FaultContext) -> int:
+        """Neighbor to ride along with the initial fetch (direction by
+        where in the subpage the faulted block lies)."""
+        blocks_per_subpage = max(1, ctx.subpage_bytes // 256)
+        offset = ctx.faulted_block % blocks_per_subpage
+        prefer_next = offset >= blocks_per_subpage / 2
+        candidates = (
+            (ctx.faulted_subpage + 1, ctx.faulted_subpage - 1)
+            if prefer_next
+            else (ctx.faulted_subpage - 1, ctx.faulted_subpage + 1)
+        )
+        for candidate in candidates:
+            if ctx.subpage_exists(candidate):
+                return candidate
+        raise SchemeError("page has no neighbor subpage")  # pragma: no cover
+
+    def label(self, subpage_bytes: int) -> str:
+        return f"pl_{subpage_bytes}"
+
+
+_SCHEMES: dict[str, type[FetchScheme]] = {
+    FullPageFetch.name: FullPageFetch,
+    LazySubpageFetch.name: LazySubpageFetch,
+    EagerFullPageFetch.name: EagerFullPageFetch,
+    SubpagePipelining.name: SubpagePipelining,
+}
+
+
+def scheme_names() -> tuple[str, ...]:
+    return tuple(sorted(_SCHEMES))
+
+
+def make_scheme(spec: str | FetchScheme, **kwargs) -> FetchScheme:
+    """Build a scheme from its registry name (or pass an instance through).
+
+    Keyword arguments are forwarded to the scheme constructor, e.g.
+    ``make_scheme("pipelined", pipeline_count=4)``.
+    """
+    if isinstance(spec, FetchScheme):
+        if kwargs:
+            raise ConfigError(
+                "cannot pass constructor arguments with a scheme instance"
+            )
+        return spec
+    try:
+        cls = _SCHEMES[spec]
+    except KeyError:
+        known = ", ".join(scheme_names())
+        raise UnknownSchemeError(
+            f"unknown scheme {spec!r}; known schemes: {known}"
+        ) from None
+    return cls(**kwargs)

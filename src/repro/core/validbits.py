@@ -1,0 +1,87 @@
+"""Per-page subpage valid bits.
+
+The prototype keeps 32 valid bits per 8K page — one per 256-byte block —
+indicating which subpages are resident (paper Section 3.1).  This module
+provides that bitmap at any power-of-two subpage granularity, implemented
+on a plain int bitmask (cheap to copy, hash, and test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import is_power_of_two
+
+
+@dataclass(slots=True)
+class SubpageBitmap:
+    """Valid bits for one page's subpages."""
+
+    num_subpages: int
+    bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_subpages < 1:
+            raise ConfigError("a page has at least one subpage")
+        if not 0 <= self.bits <= self.full_mask:
+            raise ConfigError("bits outside bitmap range")
+
+    @classmethod
+    def for_sizes(cls, page_bytes: int, subpage_bytes: int) -> "SubpageBitmap":
+        """An empty bitmap for the given page/subpage geometry."""
+        if not is_power_of_two(page_bytes) or not is_power_of_two(
+            subpage_bytes
+        ):
+            raise ConfigError("page and subpage sizes must be powers of two")
+        if subpage_bytes > page_bytes:
+            raise ConfigError("subpage size exceeds page size")
+        return cls(num_subpages=page_bytes // subpage_bytes)
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << self.num_subpages) - 1
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_subpages:
+            raise ConfigError(
+                f"subpage index {index} outside [0, {self.num_subpages})"
+            )
+
+    def is_valid(self, index: int) -> bool:
+        self._check(index)
+        return bool(self.bits >> index & 1)
+
+    def mark_valid(self, index: int) -> None:
+        self._check(index)
+        self.bits |= 1 << index
+
+    def mark_invalid(self, index: int) -> None:
+        self._check(index)
+        self.bits &= ~(1 << index)
+
+    def mark_all_valid(self) -> None:
+        self.bits = self.full_mask
+
+    def clear(self) -> None:
+        self.bits = 0
+
+    @property
+    def all_valid(self) -> bool:
+        return self.bits == self.full_mask
+
+    @property
+    def any_valid(self) -> bool:
+        return self.bits != 0
+
+    @property
+    def valid_count(self) -> int:
+        return self.bits.bit_count()
+
+    def invalid_indices(self) -> list[int]:
+        return [
+            i for i in range(self.num_subpages) if not self.bits >> i & 1
+        ]
+
+    def valid_indices(self) -> list[int]:
+        return [i for i in range(self.num_subpages) if self.bits >> i & 1]

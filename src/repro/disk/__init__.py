@@ -1,0 +1,20 @@
+"""Disk substrate: the backing-store baseline the paper compares against.
+
+The paper's disk numbers: "an average local disk access takes 4 to 14 ms
+on the same system, depending on the nature of the access — sequential or
+random" (Section 1), and faults "serviced from disk by the NFS file
+system" are 7–28x slower than a 1K remote-memory subpage fault
+(Section 5).
+"""
+
+from repro.disk.model import DiskAccessKind, DiskModel, DiskStats
+from repro.disk.presets import FAST_SCSI_1996, NFS_DISK, paper_disk
+
+__all__ = [
+    "DiskAccessKind",
+    "DiskModel",
+    "DiskStats",
+    "FAST_SCSI_1996",
+    "NFS_DISK",
+    "paper_disk",
+]

@@ -1,0 +1,147 @@
+"""A seek/rotation/transfer disk model with sequential-run detection.
+
+The model captures what the paper's evaluation needs from a disk:
+
+* a large fixed cost (seek + rotational latency + controller/OS software)
+  that dwarfs the transfer time — Figure 1's "high latency even for a
+  'zero-length' page";
+* a much cheaper *sequential* access when the requested page immediately
+  follows the previous one (track buffer / readahead hit), giving the
+  paper's 4–14 ms sequential-vs-random spread.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class DiskAccessKind(enum.Enum):
+    SEQUENTIAL = "sequential"
+    #: Within a few tracks of the previous access (a compact swap area):
+    #: a short seek instead of a full-stroke average seek.
+    NEARBY = "nearby"
+    RANDOM = "random"
+
+
+@dataclass(slots=True)
+class DiskStats:
+    """Counts and accumulated time per access kind."""
+
+    sequential_accesses: int = 0
+    nearby_accesses: int = 0
+    random_accesses: int = 0
+    total_ms: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return (
+            self.sequential_accesses
+            + self.nearby_accesses
+            + self.random_accesses
+        )
+
+    @property
+    def average_ms(self) -> float:
+        return 0.0 if not self.accesses else self.total_ms / self.accesses
+
+
+@dataclass(slots=True)
+class DiskModel:
+    """Backing-store disk with readahead-friendly sequential accesses.
+
+    Parameters
+    ----------
+    seek_ms / rotation_ms:
+        Average seek and half-rotation costs paid by a random access.
+    software_ms:
+        Fixed OS + controller + (for NFS) protocol cost paid by *every*
+        access.
+    transfer_mb_per_s:
+        Media transfer rate; applies to all bytes moved.
+    sequential_ms:
+        Cost of a sequential (readahead-satisfied) access *before* the
+        transfer time; typically the software cost dominates here.
+    """
+
+    seek_ms: float = 9.0
+    rotation_ms: float = 4.2
+    software_ms: float = 1.0
+    transfer_mb_per_s: float = 8.0
+    sequential_ms: float = 1.5
+    #: Combined positioning cost (short seek + track-buffer-assisted
+    #: rotation) when the target is within ``nearby_pages`` of the last
+    #: access; swap areas are compact, so paging seeks are short.
+    #: ``nearby_pages = 0`` disables the tier.
+    nearby_seek_ms: float = 2.0
+    nearby_pages: int = 0
+    page_bytes: int = 8192
+    stats: DiskStats = field(default_factory=DiskStats)
+    _last_page: int | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("seek_ms", "rotation_ms", "software_ms",
+                     "sequential_ms", "nearby_seek_ms"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} cannot be negative")
+        if self.nearby_pages < 0:
+            raise ConfigError("nearby_pages cannot be negative")
+        if self.transfer_mb_per_s <= 0:
+            raise ConfigError("transfer rate must be positive")
+        if self.page_bytes <= 0:
+            raise ConfigError("page size must be positive")
+
+    def transfer_ms(self, size_bytes: int) -> float:
+        """Pure media transfer time for ``size_bytes``."""
+        if size_bytes < 0:
+            raise ConfigError("size cannot be negative")
+        return size_bytes / (self.transfer_mb_per_s * 1e6) * 1e3
+
+    def access_latency_ms(self, kind: DiskAccessKind,
+                          size_bytes: int | None = None) -> float:
+        """Latency of one access of the given kind (no state change)."""
+        size = self.page_bytes if size_bytes is None else size_bytes
+        base = self.software_ms + self.transfer_ms(size)
+        if kind is DiskAccessKind.SEQUENTIAL:
+            return base + self.sequential_ms
+        if kind is DiskAccessKind.NEARBY:
+            # nearby_seek_ms bundles the short seek and the (track-buffer
+            # shortened) rotational positioning.
+            return base + self.nearby_seek_ms
+        return base + self.seek_ms + self.rotation_ms
+
+    def classify(self, page: int) -> DiskAccessKind:
+        """Would reading ``page`` now be sequential, nearby, or random?"""
+        if self._last_page is None:
+            return DiskAccessKind.RANDOM
+        if page == self._last_page + 1:
+            return DiskAccessKind.SEQUENTIAL
+        if abs(page - self._last_page) <= self.nearby_pages:
+            return DiskAccessKind.NEARBY
+        return DiskAccessKind.RANDOM
+
+    def read_page(self, page: int, size_bytes: int | None = None) -> float:
+        """Read one page; returns its latency and updates state/stats."""
+        kind = self.classify(page)
+        latency = self.access_latency_ms(kind, size_bytes)
+        self._last_page = page
+        if kind is DiskAccessKind.SEQUENTIAL:
+            self.stats.sequential_accesses += 1
+        elif kind is DiskAccessKind.NEARBY:
+            self.stats.nearby_accesses += 1
+        else:
+            self.stats.random_accesses += 1
+        self.stats.total_ms += latency
+        return latency
+
+    def reset(self) -> None:
+        self._last_page = None
+        self.stats = DiskStats()
+
+    def latency_curve_ms(self, sizes: list[int]) -> list[float]:
+        """Random-access latency at each transfer size (Figure 1 curve)."""
+        return [
+            self.access_latency_ms(DiskAccessKind.RANDOM, s) for s in sizes
+        ]

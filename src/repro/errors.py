@@ -1,0 +1,43 @@
+"""Exception hierarchy for the subpage-GMS reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid simulation, network, or workload configuration."""
+
+
+class TraceError(ReproError):
+    """A malformed or inconsistent memory-reference trace."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file could not be decoded."""
+
+
+class SchemeError(ReproError):
+    """A fetch scheme was asked to do something inconsistent."""
+
+
+class UnknownSchemeError(SchemeError, KeyError):
+    """A scheme name was not found in the registry."""
+
+
+class GmsError(ReproError):
+    """A global-memory-system protocol violation."""
+
+
+class PageNotFoundError(GmsError, KeyError):
+    """A getpage request named a page the directory does not know."""
+
+
+class CapacityError(GmsError):
+    """A node was asked to hold more frames than it has."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""

@@ -1,0 +1,11 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Every module exposes ``run()`` returning a typed result object and
+``render(result)`` returning the plain-text table/series the paper
+reports.  ``repro.experiments.registry`` lists them all; the benchmark
+harness under ``benchmarks/`` regenerates each one.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_all"]

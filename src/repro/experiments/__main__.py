@@ -1,0 +1,85 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig03 fig09
+    python -m repro.experiments --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Reproduce tables/figures from 'Reducing Network Latency "
+            "Using Subpages in a Global Memory Environment' (ASPLOS '96)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (e.g. fig03 tab02); see --list",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also export each experiment's data series as CSV into DIR",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for exp_id, experiment in EXPERIMENTS.items():
+            print(f"{exp_id:7s} {experiment.title}")
+        return 0
+    ids = list(EXPERIMENTS) if args.all else args.experiments
+    if not ids:
+        build_parser().print_usage()
+        print("error: name at least one experiment, or use --all/--list",
+              file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        experiment = get_experiment(exp_id)
+        started = time.perf_counter()
+        result = experiment.run()
+        report = experiment.render(result)
+        elapsed = time.perf_counter() - started
+        print("=" * 72)
+        print(f"{exp_id}: {experiment.title}  [{elapsed:.1f}s]")
+        print("=" * 72)
+        print(report)
+        print()
+        if args.csv:
+            from pathlib import Path
+
+            from repro.experiments.export import export_csv
+
+            out_dir = Path(args.csv)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for name, text in export_csv(exp_id, result).items():
+                path = out_dir / name
+                path.write_text(text)
+                print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Shared experiment plumbing: cached traces and cached simulation runs.
+
+Several figures reuse the same runs (Figures 4, 5, 6 all view the
+Modula-3 1/2-mem sweep); caching keyed on the run parameters keeps the
+whole experiment suite fast and the benches honest (each bench still
+*computes* its figure; it just shares substrate runs).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate
+from repro.trace.compress import RunTrace
+from repro.trace.synth.apps import build_app_trace
+
+#: The paper's three memory configurations (Section 4.1).
+MEMORY_FRACTIONS: dict[str, float] = {
+    "full-mem": 1.0,
+    "1/2-mem": 0.5,
+    "1/4-mem": 0.25,
+}
+
+#: Subpage sizes evaluated throughout the paper, largest first (Figure 3
+#: bar order).
+SUBPAGE_SIZES: tuple[int, ...] = (4096, 2048, 1024, 512, 256)
+
+#: The trace seed used by all experiments (results are deterministic).
+TRACE_SEED = 0
+
+
+@lru_cache(maxsize=16)
+def get_trace(app: str, seed: int = TRACE_SEED) -> RunTrace:
+    """The named application's trace (built once per process)."""
+    return build_app_trace(app, seed=seed)
+
+
+@lru_cache(maxsize=256)
+def run_cached(
+    app: str,
+    memory_fraction: float,
+    scheme: str = "eager",
+    subpage_bytes: int = 1024,
+    backing: str = "remote",
+    pipeline_count: int = 2,
+    segment_subpages: int = 1,
+    interrupt_ms: float = 0.0,
+    double_initial: bool = False,
+    congestion: bool = True,
+    replacement: str = "lru",
+    protection: str = "tlb",
+    tlb_entries: int = 0,
+) -> SimulationResult:
+    """Run (or fetch) one simulation with the standard configuration.
+
+    Scheme keyword arguments are flattened into the signature so the
+    cache key stays hashable.
+    """
+    trace = get_trace(app)
+    scheme_kwargs = {}
+    if scheme == "pipelined":
+        scheme_kwargs = {
+            "pipeline_count": pipeline_count,
+            "segment_subpages": segment_subpages,
+            "interrupt_ms": interrupt_ms,
+            "double_initial": double_initial,
+        }
+    config = SimulationConfig(
+        memory_pages=memory_pages_for(trace, memory_fraction),
+        scheme=scheme,
+        scheme_kwargs=scheme_kwargs,
+        subpage_bytes=subpage_bytes,
+        backing=backing,
+        congestion=congestion,
+        replacement=replacement,
+        protection=protection,
+        tlb_entries=tlb_entries,
+    )
+    return simulate(trace, config)
+
+
+def fullpage_run(
+    app: str, memory_fraction: float, backing: str = "remote"
+) -> SimulationResult:
+    """The 8K fullpage baseline for an app/memory configuration."""
+    return run_cached(
+        app,
+        memory_fraction,
+        scheme="fullpage",
+        subpage_bytes=8192,
+        backing=backing,
+    )
+
+
+def disk_run(app: str, memory_fraction: float) -> SimulationResult:
+    """The disk-backed (no network memory) baseline."""
+    return fullpage_run(app, memory_fraction, backing="disk")
+
+
+def memory_label_fraction(label: str) -> float:
+    return MEMORY_FRACTIONS[label]

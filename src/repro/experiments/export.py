@@ -1,0 +1,252 @@
+"""CSV export of experiment data series.
+
+Every experiment renders a human-readable report; this module exports the
+underlying *data* as CSV so the figures can be re-plotted with any tool.
+``export_csv(exp_id, result)`` returns ``{filename: csv_text}``;
+the CLI's ``--csv DIR`` writes them to disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigError
+
+
+def _csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def _export_fig01(result) -> dict[str, str]:
+    headers = ["size_bytes"] + list(result.series)
+    rows = [
+        [size] + [result.series[m][i] for m in result.series]
+        for i, size in enumerate(result.sizes)
+    ]
+    return {"fig01_latency.csv": _csv(headers, rows)}
+
+
+def _export_tab01(result) -> dict[str, str]:
+    return {
+        "tab01_palcode.csv": _csv(
+            ["operation", "cycles", "time_ns"], result.rows
+        )
+    }
+
+
+def _export_tab02(result) -> dict[str, str]:
+    rows = [
+        (
+            r.subpage_bytes,
+            r.subpage_ms,
+            r.rest_ms,
+            r.overlapped_execution,
+            r.sender_pipelining,
+            r.model_subpage_ms,
+            r.model_rest_ms,
+        )
+        for r in result.rows
+    ]
+    return {
+        "tab02_latencies.csv": _csv(
+            [
+                "subpage_bytes",
+                "subpage_ms",
+                "rest_ms",
+                "overlapped_execution",
+                "sender_pipelining",
+                "model_subpage_ms",
+                "model_rest_ms",
+            ],
+            rows,
+        )
+    }
+
+
+def _export_fig02(result) -> dict[str, str]:
+    rows = []
+    for label, timeline in result.timelines.items():
+        for span in timeline.spans:
+            rows.append(
+                (
+                    label,
+                    span.resource.value,
+                    span.start_ms,
+                    span.end_ms,
+                    span.label,
+                )
+            )
+    return {
+        "fig02_timeline.csv": _csv(
+            ["case", "resource", "start_ms", "end_ms", "label"], rows
+        )
+    }
+
+
+def _export_fig03(result) -> dict[str, str]:
+    rows = [
+        (memory, bar, result.totals_ms[(memory, bar)])
+        for memory in result.memory_labels
+        for bar in result.bar_labels
+    ]
+    return {
+        "fig03_memsizes.csv": _csv(
+            ["memory", "config", "total_ms"], rows
+        )
+    }
+
+
+def _export_fig04(result) -> dict[str, str]:
+    rows = [
+        (label, *result.components_ms[label])
+        for label in result.order
+    ]
+    return {
+        "fig04_components.csv": _csv(
+            ["config", "exec_ms", "sp_latency_ms", "page_wait_ms",
+             "other_ms"],
+            rows,
+        )
+    }
+
+
+def _export_fig05(result) -> dict[str, str]:
+    rows = []
+    for size, curve in sorted(result.curves.items(), reverse=True):
+        for index, wait in curve.sample(points=200):
+            rows.append((curve.label, index, wait))
+    return {
+        "fig05_waiting.csv": _csv(
+            ["curve", "fault_rank", "waiting_ms"], rows
+        )
+    }
+
+
+def _export_fig06(result) -> dict[str, str]:
+    rows = [
+        (t, c) for t, c in zip(*result.curve.cumulative())
+    ]
+    return {
+        "fig06_clustering.csv": _csv(["time_ms", "cumulative_faults"],
+                                     rows)
+    }
+
+
+def _export_fig07(result) -> dict[str, str]:
+    rows = []
+    for size, dist in sorted(result.distributions.items(), reverse=True):
+        for distance, probability in dist.probabilities().items():
+            rows.append((size, distance, probability))
+    return {
+        "fig07_distances.csv": _csv(
+            ["subpage_bytes", "distance", "probability"], rows
+        )
+    }
+
+
+def _export_fig08(result) -> dict[str, str]:
+    rows = []
+    for size in sorted(result.components, reverse=True):
+        eager, piped = result.components[size]
+        rows.append((size, "eager", *eager))
+        rows.append((size, "pipelined", *piped))
+    return {
+        "fig08_pipelining.csv": _csv(
+            ["subpage_bytes", "scheme", "exec_ms", "sp_latency_ms",
+             "page_wait_ms"],
+            rows,
+        )
+    }
+
+
+def _export_fig09(result) -> dict[str, str]:
+    rows = [
+        (
+            r.app,
+            r.page_faults,
+            r.eager_improvement,
+            r.pipelined_improvement,
+            r.io_overlap_share,
+        )
+        for r in result.rows
+    ]
+    return {
+        "fig09_allapps.csv": _csv(
+            ["app", "faults", "eager_improvement",
+             "pipelined_improvement", "io_overlap_share"],
+            rows,
+        )
+    }
+
+
+def _export_fig10(result) -> dict[str, str]:
+    rows = []
+    for app, curve in result.curves.items():
+        for t, c in zip(*curve.cumulative()):
+            rows.append((app, t, c))
+    return {
+        "fig10_gdb_atom.csv": _csv(
+            ["app", "time_ms", "cumulative_faults"], rows
+        )
+    }
+
+
+def _export_scorecard(result) -> dict[str, str]:
+    rows = [
+        (
+            c.claim_id,
+            c.statement,
+            c.paper_value,
+            c.measured,
+            c.lo,
+            c.hi,
+            c.ok,
+        )
+        for c in result.claims
+    ]
+    return {
+        "scorecard.csv": _csv(
+            ["id", "claim", "paper", "measured", "band_lo", "band_hi",
+             "ok"],
+            rows,
+        )
+    }
+
+
+_EXPORTERS: dict[str, Callable[[Any], dict[str, str]]] = {
+    "scorecard": _export_scorecard,
+    "fig01": _export_fig01,
+    "tab01": _export_tab01,
+    "tab02": _export_tab02,
+    "fig02": _export_fig02,
+    "fig03": _export_fig03,
+    "fig04": _export_fig04,
+    "fig05": _export_fig05,
+    "fig06": _export_fig06,
+    "fig07": _export_fig07,
+    "fig08": _export_fig08,
+    "fig09": _export_fig09,
+    "fig10": _export_fig10,
+}
+
+
+def exportable_experiments() -> tuple[str, ...]:
+    return tuple(sorted(_EXPORTERS))
+
+
+def export_csv(exp_id: str, result: Any) -> dict[str, str]:
+    """CSV files (name -> contents) for one experiment's result."""
+    try:
+        exporter = _EXPORTERS[exp_id]
+    except KeyError:
+        known = ", ".join(exportable_experiments())
+        raise ConfigError(
+            f"no CSV exporter for {exp_id!r}; known: {known}"
+        ) from None
+    return exporter(result)

@@ -1,0 +1,82 @@
+"""Figure 1: latency vs page size for disks and networks.
+
+The paper plots transfer latency against page size for a disk subsystem,
+a heavily-loaded 10 Mb/s Ethernet, a lightly-loaded Ethernet, and an ATM
+network, making four points: disk has high zero-length latency; networks
+have low fixed overhead so wire time dominates; even ATM latency falls
+substantially with smaller packets; and for very small transfers even
+Ethernet beats disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.disk.model import DiskAccessKind
+from repro.disk.presets import paper_disk
+from repro.net.params import (
+    AN2_ATM,
+    ETHERNET_IDLE,
+    ETHERNET_LOADED,
+    transfer_latency_ms,
+)
+
+#: Transfer sizes plotted (bytes); 0 exposes the fixed overhead.
+SIZES: tuple[int, ...] = (0, 256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+@dataclass(frozen=True, slots=True)
+class Fig01Result:
+    sizes: tuple[int, ...]
+    series: dict[str, list[float]]  # medium -> latency per size (ms)
+
+    def crossover_vs_disk(self, medium: str) -> int | None:
+        """Largest plotted size at which ``medium`` still beats disk."""
+        disk = self.series["disk"]
+        curve = self.series[medium]
+        best = None
+        for size, net, dsk in zip(self.sizes, curve, disk):
+            if net < dsk:
+                best = size
+        return best
+
+
+def run() -> Fig01Result:
+    disk = paper_disk()
+    series: dict[str, list[float]] = {
+        "disk": [
+            disk.access_latency_ms(DiskAccessKind.RANDOM, s) for s in SIZES
+        ],
+        "ethernet-loaded": [
+            transfer_latency_ms(ETHERNET_LOADED, s) for s in SIZES
+        ],
+        "ethernet-idle": [
+            transfer_latency_ms(ETHERNET_IDLE, s) for s in SIZES
+        ],
+        "atm": [transfer_latency_ms(AN2_ATM, s) for s in SIZES],
+    }
+    return Fig01Result(sizes=SIZES, series=series)
+
+
+def render(result: Fig01Result) -> str:
+    headers = ["size (B)"] + list(result.series)
+    rows = []
+    for i, size in enumerate(result.sizes):
+        rows.append(
+            [size] + [result.series[m][i] for m in result.series]
+        )
+    table = format_table(
+        headers,
+        rows,
+        title="Figure 1: transfer latency (ms) vs page size",
+        float_digits=3,
+    )
+    notes = [
+        "",
+        f"disk latency at zero length: "
+        f"{result.series['disk'][0]:.1f} ms (high fixed cost)",
+        f"ATM latency at zero length: "
+        f"{result.series['atm'][0]:.2f} ms (low fixed cost)",
+    ]
+    return table + "\n".join(notes)

@@ -1,0 +1,88 @@
+"""Figure 2: remote page fetch timelines (8K full, 2K and 1K eager).
+
+Regenerates the component timeline — Req-CPU, Req-DMA, Wire, Srv-DMA,
+Srv-CPU spans — for the three cases of the paper's figure, using the
+timeline model fitted to Table 2.  The qualitative checks: the 2K case
+resumes in roughly half the fullpage time *and* completes the whole page
+sooner than fullpage (sender pipelining); the 1K case resumes earlier
+still but completes slightly later than 2K (the first transfer is "too
+small" for optimal overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.calibration import fit_timeline_params
+from repro.net.timeline import FetchTimeline, Resource, simulate_fetch
+
+#: The paper's three cases plus (as an extension) the pipelined variant,
+#: which shows the +1/-1 subpages arriving as separate early segments.
+CASES: tuple[tuple[str, int, str, int], ...] = (
+    ("fullpage 8K", 8192, "fullpage", 0),
+    ("eager 2K", 2048, "eager", 0),
+    ("eager 1K", 1024, "eager", 0),
+    ("pipelined 1K (+1/-1)", 1024, "pipelined", 2),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Fig02Result:
+    timelines: dict[str, FetchTimeline]
+
+    def resume_ms(self, label: str) -> float:
+        return self.timelines[label].resume_ms
+
+    def completion_ms(self, label: str) -> float:
+        return self.timelines[label].completion_ms
+
+
+def run() -> Fig02Result:
+    params = fit_timeline_params()
+    timelines = {
+        label: simulate_fetch(
+            params, 8192, size, scheme=scheme,
+            pipeline_subpages=pipelined,
+        )
+        for label, size, scheme, pipelined in CASES
+    }
+    return Fig02Result(timelines=timelines)
+
+
+def _ascii_timeline(timeline: FetchTimeline, width: int = 72) -> str:
+    """Draw one timeline's spans as rows of '=' per resource."""
+    end = max(s.end_ms for s in timeline.spans)
+    rows = []
+    for resource in Resource:
+        cells = [" "] * width
+        for span in timeline.spans:
+            if span.resource is not resource:
+                continue
+            lo = int(span.start_ms / end * (width - 1))
+            hi = max(lo + 1, int(span.end_ms / end * (width - 1)))
+            for i in range(lo, min(hi, width)):
+                cells[i] = "="
+        rows.append(f"  {resource.value:8s} |{''.join(cells)}|")
+    rows.append(
+        f"  resume at {timeline.resume_ms:.2f} ms, page complete at "
+        f"{timeline.completion_ms:.2f} ms"
+    )
+    return "\n".join(rows)
+
+
+def render(result: Fig02Result) -> str:
+    out = ["Figure 2: remote page fetch timelines (fitted model)"]
+    for label, timeline in result.timelines.items():
+        out.append("")
+        out.append(f"{label}:")
+        out.append(_ascii_timeline(timeline))
+    out.append("")
+    out.append(
+        "checks: eager-2K resumes in "
+        f"{result.resume_ms('eager 2K') / result.completion_ms('fullpage 8K'):.2f}"
+        "x of fullpage latency; eager-1K completes at "
+        f"{result.completion_ms('eager 1K'):.2f} ms vs eager-2K "
+        f"{result.completion_ms('eager 2K'):.2f} ms "
+        "(1K slightly later: transfer too small for optimal overlap)"
+    )
+    return "\n".join(out)

@@ -1,0 +1,85 @@
+"""Figure 4: runtime components at 1/2 memory (Modula-3).
+
+Breaks each subpage configuration's runtime into exec, sp_latency
+(waiting for the first subpage of each faulted page) and page_wait
+(stalls for the remainder).  Shape targets: sp_latency falls as subpages
+shrink (paper: 55% of runtime at 4K down to 25% at 256B) while page_wait
+rises (2% at 4K up to 35% at 256B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table, percent
+from repro.experiments import common
+
+APP = "modula3"
+MEMORY_FRACTION = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class Fig04Result:
+    app: str
+    #: bar label -> (exec, sp_latency, page_wait, other) in ms.
+    components_ms: dict[str, tuple[float, float, float, float]]
+    order: tuple[str, ...]
+
+    def fraction(self, label: str, component: int) -> float:
+        parts = self.components_ms[label]
+        total = sum(parts)
+        return 0.0 if total <= 0 else parts[component] / total
+
+    def sp_latency_fraction(self, label: str) -> float:
+        return self.fraction(label, 1)
+
+    def page_wait_fraction(self, label: str) -> float:
+        return self.fraction(label, 2)
+
+
+def run(app: str = APP) -> Fig04Result:
+    order = ["p_8192"] + [f"sp_{s}" for s in common.SUBPAGE_SIZES]
+    components: dict[str, tuple[float, float, float, float]] = {}
+
+    def add(label: str, result) -> None:
+        c = result.components
+        other = c.cpu_overhead_ms + c.emulation_ms + c.tlb_miss_ms
+        components[label] = (
+            c.exec_ms, c.sp_latency_ms, c.page_wait_ms, other
+        )
+
+    add("p_8192", common.fullpage_run(app, MEMORY_FRACTION))
+    for size in common.SUBPAGE_SIZES:
+        add(
+            f"sp_{size}",
+            common.run_cached(
+                app, MEMORY_FRACTION, scheme="eager", subpage_bytes=size
+            ),
+        )
+    return Fig04Result(
+        app=app, components_ms=components, order=tuple(order)
+    )
+
+
+def render(result: Fig04Result) -> str:
+    rows = []
+    for label in result.order:
+        ex, sp, pw, other = result.components_ms[label]
+        total = ex + sp + pw + other
+        rows.append(
+            [
+                label,
+                round(total, 1),
+                percent(ex / total),
+                percent(sp / total),
+                percent(pw / total),
+                percent(other / total),
+            ]
+        )
+    return format_table(
+        ["config", "total ms", "exec", "sp_latency", "page_wait", "other"],
+        rows,
+        title=(
+            f"Figure 4: runtime components, {result.app} at 1/2-mem"
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Figure 5: sorted per-fault waiting times per subpage size (Modula-3).
+
+Each curve (one per subpage size, at 1/2-mem) must show the three-segment
+structure of Section 4.2: a best-case plateau at the subpage latency, a
+worst-case plateau at the fullpage latency, and a small middle region.
+The paper's surprise: a *large* fraction of faults achieve best-case
+overlap, because faults cluster and overlap each other's rest-of-page
+transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table, percent
+from repro.analysis.waiting import WaitingCurve, waiting_curve
+from repro.experiments import common
+from repro.net.latency import CalibratedLatencyModel
+
+APP = "modula3"
+MEMORY_FRACTION = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class Fig05Result:
+    app: str
+    curves: dict[int, WaitingCurve]  # subpage size -> curve
+
+    def best_case_fraction(self, subpage_bytes: int) -> float:
+        return self.curves[subpage_bytes].segments().best_case_fraction
+
+
+def run(app: str = APP) -> Fig05Result:
+    latency = CalibratedLatencyModel()
+    curves = {}
+    for size in common.SUBPAGE_SIZES:
+        result = common.run_cached(
+            app, MEMORY_FRACTION, scheme="eager", subpage_bytes=size
+        )
+        curves[size] = waiting_curve(
+            result,
+            subpage_latency_ms=latency.subpage_latency_ms(size),
+            fullpage_latency_ms=latency.fullpage_latency_ms(),
+            label=f"sp_{size}",
+        )
+    return Fig05Result(app=app, curves=curves)
+
+
+def render(result: Fig05Result) -> str:
+    rows = []
+    for size, curve in sorted(result.curves.items(), reverse=True):
+        seg = curve.segments()
+        rows.append(
+            [
+                curve.label,
+                curve.num_faults,
+                round(curve.left_intercept_ms, 2),
+                round(curve.right_intercept_ms, 2),
+                percent(seg.best_case_fraction),
+                percent(seg.worst_case_fraction),
+            ]
+        )
+    table = format_table(
+        [
+            "curve",
+            "faults",
+            "worst wait ms",
+            "best wait ms",
+            "best-case %",
+            "worst-case %",
+        ],
+        rows,
+        title=(
+            f"Figure 5: sorted per-fault waiting times, {result.app} "
+            "at 1/2-mem"
+        ),
+    )
+    notes = [
+        "",
+        "best wait ~= subpage latency (right plateau); worst wait ~= "
+        "fullpage latency (left plateau)",
+    ]
+    return table + "\n".join(notes)

@@ -1,0 +1,72 @@
+"""Figure 6: temporal clustering of page faults (Modula-3).
+
+Cumulative fault count over time; the near-vertical jumps are the
+high-fault-rate periods (phase changes) during which I/O overlap happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.clustering import (
+    ClusteringCurve,
+    burstiness_index,
+    clustering_curve,
+    fraction_in_bursts,
+)
+from repro.experiments import common
+
+APP = "modula3"
+MEMORY_FRACTION = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class Fig06Result:
+    curve: ClusteringCurve
+    burstiness: float
+    burst_fraction: float
+
+
+def run(app: str = APP) -> Fig06Result:
+    result = common.run_cached(
+        app, MEMORY_FRACTION, scheme="eager", subpage_bytes=1024
+    )
+    curve = clustering_curve(result, label=app)
+    return Fig06Result(
+        curve=curve,
+        burstiness=burstiness_index(curve),
+        burst_fraction=fraction_in_bursts(curve),
+    )
+
+
+def _ascii_curve(curve: ClusteringCurve, width: int = 64,
+                 height: int = 12) -> str:
+    samples = curve.sample(points=width)
+    if not samples:
+        return "(no faults)"
+    duration = max(t for t, _ in samples) or 1.0
+    peak = max(c for _, c in samples)
+    grid = [[" "] * width for _ in range(height)]
+    for t, c in samples:
+        x = min(width - 1, int(t / duration * (width - 1)))
+        y = min(height - 1, int(c / peak * (height - 1)))
+        grid[height - 1 - y][x] = "*"
+    rows = ["  |" + "".join(r) for r in grid]
+    rows.append("  +" + "-" * width)
+    rows.append(
+        f"   0 .. {duration:.0f} ms (x), 0 .. {peak} faults (y)"
+    )
+    return "\n".join(rows)
+
+
+def render(result: Fig06Result) -> str:
+    out = [
+        f"Figure 6: temporal clustering of page faults "
+        f"({result.curve.label}, 1/2-mem)",
+        _ascii_curve(result.curve),
+        "",
+        f"faults: {result.curve.num_faults}, burstiness index "
+        f"(CoV of gaps): {result.burstiness:.2f}, fraction of faults in "
+        f"bursts: {result.burst_fraction:.2f}",
+    ]
+    return "\n".join(out)

@@ -1,0 +1,69 @@
+"""Figure 7: distribution of distances to the next accessed subpage.
+
+After a fault on subpage *i*, the paper measures which subpage of the
+same page is touched next, for 2K (a) and 1K (b) subpages.  Shape target:
+the mass concentrates at distance +1 — the spatial locality that makes
++1/-1 pipelining effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.distances import (
+    DistanceDistribution,
+    distance_distribution,
+)
+from repro.analysis.report import ascii_bar_chart, percent
+from repro.experiments import common
+
+APP = "modula3"
+MEMORY_FRACTION = 0.5
+SIZES = (2048, 1024)
+
+
+@dataclass(frozen=True, slots=True)
+class Fig07Result:
+    app: str
+    distributions: dict[int, DistanceDistribution]
+
+    def plus_one_probability(self, subpage_bytes: int) -> float:
+        return self.distributions[subpage_bytes].probability(1)
+
+    def most_likely_distance(self, subpage_bytes: int) -> int:
+        return self.distributions[subpage_bytes].top(1)[0][0]
+
+
+def run(app: str = APP) -> Fig07Result:
+    distributions = {}
+    for size in SIZES:
+        result = common.run_cached(
+            app, MEMORY_FRACTION, scheme="eager", subpage_bytes=size
+        )
+        distributions[size] = distance_distribution(result)
+    return Fig07Result(app=app, distributions=distributions)
+
+
+def render(result: Fig07Result) -> str:
+    out = [
+        f"Figure 7: distance to next accessed subpage on the same page "
+        f"({result.app}, 1/2-mem)"
+    ]
+    for size in sorted(result.distributions, reverse=True):
+        dist = result.distributions[size]
+        probs = dist.probabilities()
+        shown = {d: p for d, p in probs.items() if abs(d) <= 4}
+        out.append("")
+        out.append(
+            ascii_bar_chart(
+                [f"{d:+d}" for d in shown],
+                [p * 100 for p in shown.values()],
+                title=f"{size}-byte subpages (% of next accesses)",
+                unit="%",
+            )
+        )
+        out.append(
+            f"  P(+1) = {percent(dist.probability(1))}, "
+            f"P(within +/-1) = {percent(dist.mass_within(1))}"
+        )
+    return "\n".join(out)

@@ -1,0 +1,98 @@
+"""Figure 8: eager fullpage fetch vs subpage pipelining (Modula-3, 1/2-mem).
+
+The pipelining scheme ships the +1 and -1 subpages individually behind the
+faulted one (assuming an intelligent controller: zero receiver CPU cost
+per pipelined message), then the remainder in one message.  Shape
+targets at 1K: page_wait falls by ~42% while the whole-run reduction is
+~10%; pipelining cannot shrink sp_latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table, percent
+from repro.analysis.speedup import ImprovementSummary, improvement_summary
+from repro.experiments import common
+
+APP = "modula3"
+MEMORY_FRACTION = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class Fig08Result:
+    app: str
+    #: subpage size -> (eager components, pipelined components) in ms as
+    #: (exec, sp_latency, page_wait).
+    components: dict[
+        int,
+        tuple[tuple[float, float, float], tuple[float, float, float]],
+    ]
+    summaries: dict[int, ImprovementSummary]
+
+    def page_wait_reduction(self, subpage_bytes: int) -> float:
+        return self.summaries[subpage_bytes].page_wait_reduction
+
+    def total_reduction(self, subpage_bytes: int) -> float:
+        return self.summaries[subpage_bytes].improvement
+
+
+def run(app: str = APP) -> Fig08Result:
+    components = {}
+    summaries = {}
+    for size in common.SUBPAGE_SIZES:
+        eager = common.run_cached(
+            app, MEMORY_FRACTION, scheme="eager", subpage_bytes=size
+        )
+        piped = common.run_cached(
+            app, MEMORY_FRACTION, scheme="pipelined", subpage_bytes=size
+        )
+        components[size] = (
+            (
+                eager.components.exec_ms,
+                eager.components.sp_latency_ms,
+                eager.components.page_wait_ms,
+            ),
+            (
+                piped.components.exec_ms,
+                piped.components.sp_latency_ms,
+                piped.components.page_wait_ms,
+            ),
+        )
+        summaries[size] = improvement_summary(eager, piped)
+    return Fig08Result(
+        app=app, components=components, summaries=summaries
+    )
+
+
+def render(result: Fig08Result) -> str:
+    rows = []
+    for size in sorted(result.components, reverse=True):
+        (e_ex, e_sp, e_pw), (p_ex, p_sp, p_pw) = result.components[size]
+        rows.append(
+            [
+                f"sp_{size}",
+                round(e_ex + e_sp + e_pw, 1),
+                round(p_ex + p_sp + p_pw, 1),
+                round(e_pw, 1),
+                round(p_pw, 1),
+                percent(result.page_wait_reduction(size)),
+                percent(result.total_reduction(size)),
+            ]
+        )
+    return format_table(
+        [
+            "size",
+            "eager ms",
+            "pipelined ms",
+            "eager pw",
+            "piped pw",
+            "pw cut",
+            "total cut",
+        ],
+        rows,
+        title=(
+            f"Figure 8: eager vs subpage pipelining, {result.app} at "
+            "1/2-mem (+1/-1 pipelined, ideal controller)"
+        ),
+    )

@@ -1,0 +1,140 @@
+"""Registry of all experiment reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    scorecard,
+    fig01_latency,
+    fig02_timeline,
+    fig03_memsizes,
+    fig04_components,
+    fig05_waiting,
+    fig06_clustering,
+    fig07_distances,
+    fig08_pipelining,
+    fig09_allapps,
+    fig10_gdb_atom,
+    tab01_palcode,
+    tab02_latencies,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Experiment:
+    """One reproducible table or figure."""
+
+    exp_id: str
+    title: str
+    run: Callable[[], Any]
+    render: Callable[[Any], str]
+
+    def report(self) -> str:
+        """Run the experiment and render its report."""
+        return self.render(self.run())
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.exp_id: e
+    for e in (
+        Experiment(
+            "fig01",
+            "Latency vs page size for disks and networks",
+            fig01_latency.run,
+            fig01_latency.render,
+        ),
+        Experiment(
+            "tab01",
+            "PALcode load/store emulation performance",
+            tab01_palcode.run,
+            tab01_palcode.render,
+        ),
+        Experiment(
+            "tab02",
+            "Page-fault latencies for eager fullpage fetch",
+            tab02_latencies.run,
+            tab02_latencies.render,
+        ),
+        Experiment(
+            "fig02",
+            "Remote page fetch timelines",
+            fig02_timeline.run,
+            fig02_timeline.render,
+        ),
+        Experiment(
+            "fig03",
+            "Subpage performance for 3 memory sizes (Modula-3)",
+            fig03_memsizes.run,
+            fig03_memsizes.render,
+        ),
+        Experiment(
+            "fig04",
+            "Runtime components at 1/2 memory (Modula-3)",
+            fig04_components.run,
+            fig04_components.render,
+        ),
+        Experiment(
+            "fig05",
+            "Sorted per-fault waiting times (Modula-3)",
+            fig05_waiting.run,
+            fig05_waiting.render,
+        ),
+        Experiment(
+            "fig06",
+            "Temporal clustering of page faults (Modula-3)",
+            fig06_clustering.run,
+            fig06_clustering.render,
+        ),
+        Experiment(
+            "fig07",
+            "Distance to next accessed subpage (Modula-3)",
+            fig07_distances.run,
+            fig07_distances.render,
+        ),
+        Experiment(
+            "fig08",
+            "Eager fullpage fetch vs subpage pipelining (Modula-3)",
+            fig08_pipelining.run,
+            fig08_pipelining.render,
+        ),
+        Experiment(
+            "fig09",
+            "Execution-time reduction for all applications",
+            fig09_allapps.run,
+            fig09_allapps.render,
+        ),
+        Experiment(
+            "fig10",
+            "Temporal clustering for gdb and Atom",
+            fig10_gdb_atom.run,
+            fig10_gdb_atom.render,
+        ),
+        Experiment(
+            "scorecard",
+            "Paper-vs-measured scorecard across all headline claims",
+            scorecard.run,
+            scorecard.render,
+        ),
+    )
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigError(
+            f"unknown experiment {exp_id!r}; known: {known}"
+        ) from None
+
+
+def run_all() -> dict[str, str]:
+    """Run every experiment; returns rendered reports by id."""
+    return {
+        exp_id: experiment.report()
+        for exp_id, experiment in EXPERIMENTS.items()
+    }

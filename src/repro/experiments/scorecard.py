@@ -1,0 +1,257 @@
+"""The reproduction scorecard: every paper-vs-measured check as data.
+
+EXPERIMENTS.md narrates the comparison; this module *computes* it.  Each
+:class:`Claim` pairs a quantitative statement from the paper with the
+reproduction's measured value and an acceptance band.  The scorecard is
+what "the reproduction holds" means, in one machine-checkable place:
+
+    python -m repro.experiments scorecard
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.overlap import attribute_overlap
+from repro.analysis.report import format_table
+from repro.experiments import common
+from repro.net.latency import CalibratedLatencyModel
+from repro.trace.synth.apps import app_names
+
+
+@dataclass(frozen=True, slots=True)
+class Claim:
+    """One checkable paper statement."""
+
+    claim_id: str
+    statement: str
+    paper_value: str
+    measured: float
+    lo: float
+    hi: float
+    unit: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.lo <= self.measured <= self.hi
+
+    @property
+    def measured_str(self) -> str:
+        if self.unit == "%":
+            return f"{self.measured * 100:.1f}%"
+        if self.unit == "x":
+            return f"{self.measured:.2f}x"
+        return f"{self.measured:.3g}{self.unit}"
+
+
+@dataclass(frozen=True, slots=True)
+class Scorecard:
+    claims: list[Claim]
+
+    @property
+    def passed(self) -> int:
+        return sum(claim.ok for claim in self.claims)
+
+    @property
+    def total(self) -> int:
+        return len(self.claims)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.passed == self.total
+
+    def failing(self) -> list[Claim]:
+        return [claim for claim in self.claims if not claim.ok]
+
+
+def run() -> Scorecard:
+    claims: list[Claim] = []
+    model = CalibratedLatencyModel()
+
+    claims.append(
+        Claim(
+            "latency-1k",
+            "1K subpage fault completes in ~0.5 ms (abstract)",
+            "0.52 ms",
+            model.subpage_latency_ms(1024),
+            0.50,
+            0.54,
+            " ms",
+        )
+    )
+    claims.append(
+        Claim(
+            "latency-third",
+            "1K subpage fault is one third of a fullpage fault",
+            "1/3",
+            model.subpage_latency_ms(1024) / model.fullpage_latency_ms(),
+            0.30,
+            0.38,
+        )
+    )
+
+    # Figure 3 (Modula-3 across memory sizes).
+    for fraction, label, lo, hi in (
+        (1.0, "full-mem", 1.5, 2.5),
+        (0.5, "1/2-mem", 1.7, 2.5),
+    ):
+        disk = common.disk_run("modula3", fraction)
+        full = common.fullpage_run("modula3", fraction)
+        claims.append(
+            Claim(
+                f"gms-vs-disk-{label}",
+                f"fullpage GMS beats disk at {label} (paper 1.7-2.2x)",
+                "1.7-2.2x",
+                full.speedup_vs(disk),
+                lo,
+                hi,
+                "x",
+            )
+        )
+    half_full = common.fullpage_run("modula3", 0.5)
+    half_eager = common.run_cached(
+        "modula3", 0.5, scheme="eager", subpage_bytes=1024
+    )
+    claims.append(
+        Claim(
+            "m3-half-1k",
+            "Modula-3 1/2-mem 1K improvement (paper 25%)",
+            "25%",
+            half_eager.improvement_vs(half_full),
+            0.18,
+            0.35,
+            "%",
+        )
+    )
+
+    # Figure 9 bands across all applications.
+    eager_improvements = []
+    pipelined_improvements = []
+    io_shares = {}
+    for app in app_names():
+        full = common.fullpage_run(app, 0.5)
+        eager = common.run_cached(
+            app, 0.5, scheme="eager", subpage_bytes=1024
+        )
+        piped = common.run_cached(
+            app, 0.5, scheme="pipelined", subpage_bytes=1024
+        )
+        eager_improvements.append((app, eager.improvement_vs(full)))
+        pipelined_improvements.append((app, piped.improvement_vs(full)))
+        io_shares[app] = attribute_overlap(eager).io_share
+    claims.append(
+        Claim(
+            "fig9-eager-min",
+            "worst app gains >= ~20% with eager 1K (paper: 20%)",
+            "20%",
+            min(v for _, v in eager_improvements),
+            0.15,
+            0.30,
+            "%",
+        )
+    )
+    claims.append(
+        Claim(
+            "fig9-eager-max",
+            "best app gains ~44% with eager 1K (paper: 44%)",
+            "44%",
+            max(v for _, v in eager_improvements),
+            0.35,
+            0.55,
+            "%",
+        )
+    )
+    claims.append(
+        Claim(
+            "fig9-pipe-max",
+            "best app gains ~54% with pipelining (paper: 54%)",
+            "54%",
+            max(v for _, v in pipelined_improvements),
+            0.45,
+            0.65,
+            "%",
+        )
+    )
+    best_eager = max(eager_improvements, key=lambda kv: kv[1])[0]
+    claims.append(
+        Claim(
+            "fig9-gdb-top",
+            "gdb (burstiest) gains most (paper Figure 10 analysis)",
+            "gdb",
+            1.0 if best_eager == "gdb" else 0.0,
+            1.0,
+            1.0,
+        )
+    )
+    gdb_is_most_io_bound = max(io_shares, key=io_shares.get) == "gdb"
+    claims.append(
+        Claim(
+            "fig9-io-gdb",
+            "gdb has the highest I/O-overlap share (paper: 83%)",
+            "83%",
+            io_shares["gdb"] if gdb_is_most_io_bound else 0.0,
+            0.7,
+            1.01,
+            "%",
+        )
+    )
+
+    # Figure 8: pipelining's page_wait cut at 1K (paper: 42%).
+    piped = common.run_cached(
+        "modula3", 0.5, scheme="pipelined", subpage_bytes=1024
+    )
+    pw_cut = 1.0 - (
+        piped.components.page_wait_ms
+        / max(half_eager.components.page_wait_ms, 1e-9)
+    )
+    claims.append(
+        Claim(
+            "fig8-pw-cut",
+            "pipelining cuts page_wait by ~42% at 1K (Figure 8)",
+            "42%",
+            pw_cut,
+            0.25,
+            0.65,
+            "%",
+        )
+    )
+
+    # Figure 7: +1 dominance.
+    from repro.analysis.distances import distance_distribution
+
+    dist = distance_distribution(half_eager)
+    claims.append(
+        Claim(
+            "fig7-plus-one",
+            "next-subpage distance +1 dominates (Figure 7)",
+            "~50%",
+            dist.probability(1),
+            0.30,
+            0.70,
+            "%",
+        )
+    )
+
+    return Scorecard(claims=claims)
+
+
+def render(scorecard: Scorecard) -> str:
+    rows = [
+        (
+            "PASS" if claim.ok else "FAIL",
+            claim.claim_id,
+            claim.statement,
+            claim.paper_value,
+            claim.measured_str,
+        )
+        for claim in scorecard.claims
+    ]
+    table = format_table(
+        ["", "id", "claim", "paper", "measured"],
+        rows,
+        title="Reproduction scorecard",
+    )
+    return (
+        table
+        + f"\n\n{scorecard.passed}/{scorecard.total} claims within band"
+    )

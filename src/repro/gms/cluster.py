@@ -1,0 +1,336 @@
+"""The GMS cluster facade: getpage / putpage over nodes and directories.
+
+This is the substrate the faulting node's paging path talks to.  A fault
+that misses in local memory asks the cluster where the page is
+(``getpage``); an eviction hands the page to the cluster (``putpage``),
+which forwards it to an idle node chosen by the epoch algorithm or lets it
+fall to disk if it is among the globally oldest.
+
+Message counting follows the GMS protocol shape: a getpage costs a request
+to the page's directory manager, a forward to the storing node, and the
+data transfer back; a putpage costs the data transfer plus a directory
+update.  Messages to oneself are free.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, GmsError
+from repro.gms.directory import GlobalCacheDirectory, PageOwnershipDirectory
+from repro.gms.epoch import EpochManager, EpochParams
+from repro.gms.ids import NodeId, PageUid
+from repro.gms.node import Node
+
+
+class PageLocation(enum.Enum):
+    """Where a faulted page was found."""
+
+    LOCAL_GLOBAL = "requester-global"  # hosted by the requester itself
+    REMOTE_MEMORY = "remote"
+    DISK = "disk"
+
+
+@dataclass(frozen=True, slots=True)
+class GetPageResult:
+    """Outcome of one getpage operation."""
+
+    uid: PageUid
+    location: PageLocation
+    serving_node: NodeId | None
+    messages: int
+
+
+@dataclass(slots=True)
+class ClusterStats:
+    """Cumulative protocol statistics."""
+
+    getpages: int = 0
+    remote_hits: int = 0
+    local_global_hits: int = 0
+    #: Remote hits served by *copying* a page another node is actively
+    #: using (a shared page, e.g. library code) rather than moving it.
+    shared_copies: int = 0
+    disk_fills: int = 0
+    putpages: int = 0
+    discards: int = 0
+    disk_writebacks: int = 0
+    messages: int = 0
+
+    @property
+    def global_hit_ratio(self) -> float:
+        if self.getpages == 0:
+            return 0.0
+        return (self.remote_hits + self.local_global_hits) / self.getpages
+
+
+class Cluster:
+    """A set of GMS nodes sharing their memory."""
+
+    def __init__(
+        self,
+        epoch_params: EpochParams | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._nodes: dict[NodeId, Node] = {}
+        self._pod: PageOwnershipDirectory | None = None
+        self._gcd: GlobalCacheDirectory | None = None
+        self._epoch = EpochManager(epoch_params, seed=seed)
+        self.stats = ClusterStats()
+        self._dirty: set[PageUid] = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, capacity: int) -> Node:
+        """Add a node; invalidates and rebuilds the directories."""
+        node_id = len(self._nodes)
+        node = Node(node_id, capacity)
+        self._nodes[node_id] = node
+        self._pod = PageOwnershipDirectory(list(self._nodes))
+        # Rebuild the GCD (the POD hash changed), re-inserting placements.
+        placements = []
+        for n in self._nodes.values():
+            for uid, _ in n.page_ages():
+                placements.append((uid, n.node_id))
+        self._gcd = GlobalCacheDirectory(self._pod)
+        for uid, holder in placements:
+            self._gcd.update(uid, holder)
+        return node
+
+    @property
+    def nodes(self) -> dict[NodeId, Node]:
+        return self._nodes
+
+    @property
+    def directory(self) -> GlobalCacheDirectory:
+        if self._gcd is None:
+            raise GmsError("cluster has no nodes yet")
+        return self._gcd
+
+    def node(self, node_id: NodeId) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GmsError(f"no node {node_id}") from None
+
+    # -- warm-cache setup ----------------------------------------------------
+
+    def warm_fill(
+        self, origin: NodeId, vpns: list[int], age: float = 0.0
+    ) -> int:
+        """Preload ``origin``'s pages into other nodes' global memory.
+
+        Models the paper's warm-cache starting condition: "all pages are
+        assumed to initially reside in remote memory" (Section 4.1).
+        Pages are spread round-robin over the other nodes' free frames.
+        Returns the number of pages placed; raises if they do not fit.
+        """
+        hosts = [n for nid, n in self._nodes.items() if nid != origin]
+        if not hosts:
+            raise GmsError("warm_fill needs at least one other node")
+        free = sum(h.free_frames for h in hosts)
+        if free < len(vpns):
+            raise CapacityError(
+                f"warm_fill needs {len(vpns)} free frames, cluster of "
+                f"{len(hosts)} idle nodes has {free}"
+            )
+        # True round-robin: interleave hosts until each runs out of room.
+        slots: list[Node] = []
+        remaining = {h.node_id: h.free_frames for h in hosts}
+        while len(slots) < len(vpns):
+            progressed = False
+            for host in hosts:
+                if remaining[host.node_id] > 0:
+                    slots.append(host)
+                    remaining[host.node_id] -= 1
+                    progressed = True
+            if not progressed:  # pragma: no cover - guarded above
+                break
+        placed = 0
+        for vpn, host in zip(vpns, slots):
+            uid = PageUid(origin, vpn)
+            host.add_global(uid, age)
+            self.directory.update(uid, host.node_id)
+            placed += 1
+        return placed
+
+    def warm_fill_uids(
+        self,
+        uids: list[PageUid],
+        age: float = 0.0,
+        exclude: tuple[NodeId, ...] = (),
+    ) -> int:
+        """Preload explicit UIDs into global memory, round-robin.
+
+        Like :meth:`warm_fill` but with caller-chosen UID namespaces
+        (needed when some pages are shared across workloads).  UIDs
+        already in the directory are skipped, so several workloads can
+        warm-fill a common shared region without duplicates.  Nodes in
+        ``exclude`` (typically the active nodes) receive nothing.
+        """
+        hosts = [
+            n for nid, n in self._nodes.items() if nid not in exclude
+        ]
+        if not hosts:
+            raise GmsError("warm_fill_uids needs at least one host node")
+        fresh = list(
+            dict.fromkeys(
+                u for u in uids if not self.directory.contains(u)
+            )
+        )
+        free = sum(h.free_frames for h in hosts)
+        if free < len(fresh):
+            raise CapacityError(
+                f"warm_fill_uids needs {len(fresh)} free frames, hosts "
+                f"have {free}"
+            )
+        placed = 0
+        cursor = 0
+        for uid in fresh:
+            for _ in range(len(hosts)):
+                host = hosts[cursor % len(hosts)]
+                cursor += 1
+                if host.free_frames > 0 and not host.holds(uid):
+                    host.add_global(uid, age)
+                    self.directory.update(uid, host.node_id)
+                    placed += 1
+                    break
+        return placed
+
+    # -- protocol operations ---------------------------------------------
+
+    def _msg(self, src: NodeId, dst: NodeId, count: int = 1) -> int:
+        """Count ``count`` messages unless src == dst (free)."""
+        if src == dst:
+            return 0
+        self.stats.messages += count
+        return count
+
+    def getpage(
+        self, requester: NodeId, uid: PageUid, now: float
+    ) -> GetPageResult:
+        """Fault path: locate ``uid`` and move it to ``requester``.
+
+        On a global-memory hit the page moves into the requester's local
+        memory (the caller must have freed a frame first).  On a miss the
+        caller fills from disk; the directory then knows the requester
+        holds the page.
+        """
+        self.stats.getpages += 1
+        req_node = self.node(requester)
+        manager = self.directory.pod.manager_of(uid)
+        messages = self._msg(requester, manager)
+        if not self.directory.contains(uid):
+            # Directory miss: page only exists on disk.
+            self.stats.disk_fills += 1
+            messages += self._msg(manager, requester)
+            req_node.add_local(uid, now)
+            self.directory.update(uid, requester)
+            return GetPageResult(uid, PageLocation.DISK, None, messages)
+        holder_id = self.directory.lookup(uid)
+        holder = self.node(holder_id)
+        if holder_id == requester:
+            # The requester itself hosts the page as a global page.
+            holder.promote_to_local(uid, now)
+            self.stats.local_global_hits += 1
+            self.directory.update(uid, requester)
+            return GetPageResult(
+                uid, PageLocation.LOCAL_GLOBAL, requester, messages
+            )
+        messages += self._msg(manager, holder_id)
+        if holder.holds_global(uid):
+            holder.remove_global(uid)
+        elif holder.holds_local(uid):
+            # Shared page actively used elsewhere: we take a copy and the
+            # holder keeps its local copy.  The directory keeps pointing
+            # at the established holder so further sharers copy from it;
+            # correctness relies on shared pages being read-only (code).
+            self.stats.shared_copies += 1
+            messages += self._msg(holder_id, requester)
+            req_node.add_local(uid, now)
+            self.stats.remote_hits += 1
+            return GetPageResult(
+                uid, PageLocation.REMOTE_MEMORY, holder_id, messages
+            )
+        else:
+            raise GmsError(
+                f"directory says node {holder_id} holds {uid}, but it "
+                f"does not"
+            )
+        messages += self._msg(holder_id, requester)
+        req_node.add_local(uid, now)
+        self.directory.update(uid, requester)
+        self.stats.remote_hits += 1
+        return GetPageResult(
+            uid, PageLocation.REMOTE_MEMORY, holder_id, messages
+        )
+
+    def putpage(
+        self,
+        evicting: NodeId,
+        uid: PageUid,
+        age: float,
+        dirty: bool = False,
+    ) -> NodeId | None:
+        """Eviction path: forward a page to global memory (or disk).
+
+        Returns the receiving node, or ``None`` when the page was dropped
+        or written back to disk (it was among the globally oldest, or no
+        node had room).
+        """
+        self.stats.putpages += 1
+        evictor = self.node(evicting)
+        if evictor.holds_local(uid):
+            evictor.drop_local(uid)
+        elif evictor.holds_global(uid):
+            evictor.remove_global(uid)
+        else:
+            raise GmsError(f"node {evicting} does not hold {uid}")
+        if dirty:
+            self._dirty.add(uid)
+
+        if self._epoch.should_discard(self._nodes, age) or len(
+            self._nodes
+        ) < 2:
+            self._to_disk(uid, evicting)
+            return None
+
+        target_id = self._epoch.choose_target(self._nodes, exclude=evicting)
+        target = self.node(target_id)
+        if target.free_frames <= 0:
+            # Make room by pushing the target's oldest global page to disk;
+            # if it hosts none, fall back to discarding the incoming page.
+            victim = target.oldest_global()
+            if victim is None:
+                self._to_disk(uid, evicting)
+                return None
+            target.remove_global(victim)
+            self._to_disk(victim, target_id)
+        target.add_global(uid, age)
+        self.directory.update(uid, target_id)
+        self._msg(evicting, target_id)
+        manager = self.directory.pod.manager_of(uid)
+        self._msg(evicting, manager)
+        return target_id
+
+    def _to_disk(self, uid: PageUid, from_node: NodeId) -> None:
+        """Drop a page from the global cache (writing back if dirty)."""
+        if uid in self._dirty:
+            self.stats.disk_writebacks += 1
+            self._dirty.discard(uid)
+        else:
+            self.stats.discards += 1
+        if self.directory.contains(uid):
+            self.directory.remove(uid)
+
+    # -- introspection ---------------------------------------------------
+
+    def total_free_frames(self) -> int:
+        return sum(n.free_frames for n in self._nodes.values())
+
+    def where_is(self, uid: PageUid) -> NodeId | None:
+        """Which node currently stores ``uid`` (None = disk only)."""
+        if self._gcd is None or not self.directory.contains(uid):
+            return None
+        return self.directory.lookup(uid)

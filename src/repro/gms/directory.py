@@ -1,0 +1,109 @@
+"""GMS directories: page ownership (POD) and global cache (GCD).
+
+GMS locates an arbitrary page with two levels of directory (Feeley et
+al., SOSP '95):
+
+* the **page-ownership directory (POD)** maps a page UID to the node that
+  *manages* that page's directory entry.  It is a static hash of the UID
+  over the participating nodes, replicated everywhere (we model it as a
+  function);
+* the **global-cache directory (GCD)** is the distributed map itself: each
+  node holds the authoritative "which node stores page X" entries for the
+  UIDs the POD assigns to it.
+
+This module implements both, with per-node entry storage so directory
+load can be inspected, plus message counting hooks for the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, PageNotFoundError
+from repro.gms.ids import NodeId, PageUid
+
+
+class PageOwnershipDirectory:
+    """Static hash of UIDs over directory nodes (replicated everywhere)."""
+
+    def __init__(self, nodes: list[NodeId]) -> None:
+        if not nodes:
+            raise ConfigError("POD needs at least one node")
+        self._nodes = tuple(sorted(set(nodes)))
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        return self._nodes
+
+    def manager_of(self, uid: PageUid) -> NodeId:
+        """The node managing the GCD entry for ``uid``."""
+        return self._nodes[hash(uid) % len(self._nodes)]
+
+
+@dataclass(slots=True)
+class DirectoryStats:
+    """Lookup/update counts for one node's GCD shard."""
+
+    lookups: int = 0
+    hits: int = 0
+    updates: int = 0
+    removals: int = 0
+
+
+class GlobalCacheDirectory:
+    """The distributed UID -> storing-node map, sharded by the POD."""
+
+    def __init__(self, pod: PageOwnershipDirectory) -> None:
+        self._pod = pod
+        self._shards: dict[NodeId, dict[PageUid, NodeId]] = {
+            node: {} for node in pod.nodes
+        }
+        self.stats: dict[NodeId, DirectoryStats] = {
+            node: DirectoryStats() for node in pod.nodes
+        }
+
+    @property
+    def pod(self) -> PageOwnershipDirectory:
+        return self._pod
+
+    def shard_sizes(self) -> dict[NodeId, int]:
+        return {node: len(shard) for node, shard in self._shards.items()}
+
+    def _shard_for(self, uid: PageUid) -> tuple[NodeId, dict[PageUid, NodeId]]:
+        manager = self._pod.manager_of(uid)
+        return manager, self._shards[manager]
+
+    def lookup(self, uid: PageUid) -> NodeId:
+        """Which node stores ``uid``?  Raises if the page is unknown."""
+        manager, shard = self._shard_for(uid)
+        self.stats[manager].lookups += 1
+        try:
+            holder = shard[uid]
+        except KeyError:
+            raise PageNotFoundError(
+                f"directory has no entry for {uid}"
+            ) from None
+        self.stats[manager].hits += 1
+        return holder
+
+    def contains(self, uid: PageUid) -> bool:
+        _, shard = self._shard_for(uid)
+        return uid in shard
+
+    def update(self, uid: PageUid, holder: NodeId) -> NodeId:
+        """Record that ``holder`` now stores ``uid``; returns the manager."""
+        manager, shard = self._shard_for(uid)
+        shard[uid] = holder
+        self.stats[manager].updates += 1
+        return manager
+
+    def remove(self, uid: PageUid) -> None:
+        """Forget ``uid`` (it was dropped or written to disk)."""
+        manager, shard = self._shard_for(uid)
+        if uid not in shard:
+            raise PageNotFoundError(f"directory has no entry for {uid}")
+        del shard[uid]
+        self.stats[manager].removals += 1
+
+    def total_entries(self) -> int:
+        return sum(len(s) for s in self._shards.values())

@@ -1,0 +1,151 @@
+"""Epoch-based global page replacement.
+
+GMS approximates global LRU with *epochs* (Feeley et al., SOSP '95): at
+the start of each epoch every node reports a summary of its page ages to a
+coordinator, which determines the M oldest pages cluster-wide and derives
+a per-node weight w_i — the fraction of those M oldest pages held by node
+i.  During the epoch, a node that must get rid of a page sends it to a
+peer chosen with probability proportional to w_i, so eviction pressure
+flows toward the nodes with the coldest memory; pages that are among the
+globally oldest are simply discarded (dropped or written to disk).
+
+Here the coordinator sees exact ages (a simulation can afford that); the
+paper's duplicate-avoidance and summary-compression details are out of
+scope for the subpage study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, GmsError
+from repro.gms.ids import NodeId
+from repro.gms.node import Node
+
+
+@dataclass(frozen=True, slots=True)
+class EpochParams:
+    """Tuning knobs for the epoch algorithm."""
+
+    #: Number of putpage operations an epoch is expected to absorb; the
+    #: coordinator considers this many of the globally oldest pages.
+    target_evictions: int = 256
+    #: Maximum putpage operations before a recomputation is forced.
+    max_epoch_operations: int = 512
+
+    def __post_init__(self) -> None:
+        if self.target_evictions <= 0:
+            raise ConfigError("target_evictions must be positive")
+        if self.max_epoch_operations <= 0:
+            raise ConfigError("max_epoch_operations must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class EpochPlan:
+    """The coordinator's output for one epoch."""
+
+    weights: dict[NodeId, float]
+    #: Age threshold: pages at least this old are among the globally
+    #: oldest M and may be discarded rather than forwarded.
+    discard_age_threshold: float
+    epoch_index: int
+
+
+class EpochManager:
+    """Computes epoch plans and picks putpage targets from them."""
+
+    def __init__(
+        self,
+        params: EpochParams | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.params = params if params is not None else EpochParams()
+        self._rng = np.random.default_rng(seed)
+        self._plan: EpochPlan | None = None
+        self._operations = 0
+        self._epoch_index = 0
+
+    @property
+    def plan(self) -> EpochPlan | None:
+        return self._plan
+
+    @property
+    def epochs_computed(self) -> int:
+        return self._epoch_index
+
+    def recompute(self, nodes: dict[NodeId, Node]) -> EpochPlan:
+        """Start a new epoch from the cluster's current page ages."""
+        ages: list[tuple[float, NodeId]] = []
+        for node in nodes.values():
+            for _, age in node.page_ages():
+                ages.append((age, node.node_id))
+        self._epoch_index += 1
+        self._operations = 0
+        if not ages:
+            weights = {nid: 1.0 / len(nodes) for nid in nodes} if nodes else {}
+            self._plan = EpochPlan(
+                weights=weights,
+                discard_age_threshold=float("-inf"),
+                epoch_index=self._epoch_index,
+            )
+            return self._plan
+        ages.sort(key=lambda pair: pair[0])
+        m = min(self.params.target_evictions, len(ages))
+        oldest = ages[:m]
+        threshold = oldest[-1][0]
+        counts: dict[NodeId, int] = {nid: 0 for nid in nodes}
+        for _, nid in oldest:
+            counts[nid] += 1
+        weights = {nid: counts[nid] / m for nid in nodes}
+        self._plan = EpochPlan(
+            weights=weights,
+            discard_age_threshold=threshold,
+            epoch_index=self._epoch_index,
+        )
+        return self._plan
+
+    def _ensure_plan(self, nodes: dict[NodeId, Node]) -> EpochPlan:
+        if (
+            self._plan is None
+            or self._operations >= self.params.max_epoch_operations
+        ):
+            self.recompute(nodes)
+        assert self._plan is not None
+        return self._plan
+
+    def should_discard(
+        self, nodes: dict[NodeId, Node], page_age: float
+    ) -> bool:
+        """Is a page this old among the globally oldest (just drop it)?"""
+        plan = self._ensure_plan(nodes)
+        return page_age <= plan.discard_age_threshold
+
+    def choose_target(
+        self,
+        nodes: dict[NodeId, Node],
+        exclude: NodeId,
+    ) -> NodeId:
+        """Pick the node that should receive a putpage from ``exclude``.
+
+        Nodes are drawn with probability proportional to their epoch
+        weight; the evicting node itself is excluded (sending a page to
+        yourself is a no-op).  Falls back to uniform choice over the other
+        nodes when all remaining weights are zero.
+        """
+        plan = self._ensure_plan(nodes)
+        self._operations += 1
+        candidates = [nid for nid in nodes if nid != exclude]
+        if not candidates:
+            raise GmsError("no other node available for putpage")
+        raw = np.array(
+            [plan.weights.get(nid, 0.0) for nid in candidates], dtype=float
+        )
+        total = raw.sum()
+        if total <= 0:
+            probabilities = np.full(len(candidates), 1.0 / len(candidates))
+        else:
+            probabilities = raw / total
+        return candidates[int(self._rng.choice(len(candidates),
+                                               p=probabilities))]

@@ -1,0 +1,31 @@
+"""Identifiers used by the global memory system.
+
+GMS names pages with cluster-wide unique identifiers (UIDs) so that any
+node can ask the directory about any page.  Here a UID is (node that owns
+the address space, virtual page number); nodes are small integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+NodeId = int
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class PageUid:
+    """Cluster-wide unique page identifier."""
+
+    origin: NodeId
+    vpn: int
+
+    def __post_init__(self) -> None:
+        if self.origin < 0:
+            raise ConfigError(f"negative node id {self.origin}")
+        if self.vpn < 0:
+            raise ConfigError(f"negative virtual page number {self.vpn}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"uid({self.origin}:{self.vpn:#x})"

@@ -1,0 +1,155 @@
+"""A GMS node's memory: local (active) frames plus global (hosted) frames.
+
+Following the GMS design (Feeley et al., SOSP '95), each node's physical
+memory divides dynamically between *local* pages — pages its own workload
+is actively using — and *global* pages — older pages stored on behalf of
+other nodes.  An idle node's memory is almost entirely global; a busy
+node's almost entirely local.  Local pages carry an age (last-touch time)
+used by the epoch algorithm to find the globally oldest pages.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, GmsError
+from repro.gms.ids import NodeId, PageUid
+
+
+@dataclass(frozen=True, slots=True)
+class NodeMemoryStats:
+    """Snapshot of a node's memory occupancy."""
+
+    node: NodeId
+    capacity: int
+    local_pages: int
+    global_pages: int
+
+    @property
+    def free_frames(self) -> int:
+        return self.capacity - self.local_pages - self.global_pages
+
+
+class Node:
+    """One cluster node with ``capacity`` page frames."""
+
+    def __init__(self, node_id: NodeId, capacity: int) -> None:
+        if capacity < 0:
+            raise CapacityError(f"node {node_id}: negative capacity")
+        self.node_id = node_id
+        self.capacity = capacity
+        # OrderedDicts double as LRU lists: oldest first.
+        self._local: OrderedDict[PageUid, float] = OrderedDict()
+        self._global: OrderedDict[PageUid, float] = OrderedDict()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def local_count(self) -> int:
+        return len(self._local)
+
+    @property
+    def global_count(self) -> int:
+        return len(self._global)
+
+    @property
+    def used(self) -> int:
+        return self.local_count + self.global_count
+
+    @property
+    def free_frames(self) -> int:
+        return self.capacity - self.used
+
+    def stats(self) -> NodeMemoryStats:
+        return NodeMemoryStats(
+            node=self.node_id,
+            capacity=self.capacity,
+            local_pages=self.local_count,
+            global_pages=self.global_count,
+        )
+
+    def holds_local(self, uid: PageUid) -> bool:
+        return uid in self._local
+
+    def holds_global(self, uid: PageUid) -> bool:
+        return uid in self._global
+
+    def holds(self, uid: PageUid) -> bool:
+        return self.holds_local(uid) or self.holds_global(uid)
+
+    def page_ages(self) -> list[tuple[PageUid, float]]:
+        """(uid, last-touch time) for every resident page (both kinds)."""
+        out = list(self._local.items())
+        out.extend(self._global.items())
+        return out
+
+    # -- local page management -------------------------------------------
+
+    def touch_local(self, uid: PageUid, now: float) -> None:
+        """Record an access to a local page (moves it to LRU tail)."""
+        if uid not in self._local:
+            raise GmsError(f"node {self.node_id} has no local {uid}")
+        self._local.move_to_end(uid)
+        self._local[uid] = now
+
+    def add_local(self, uid: PageUid, now: float) -> None:
+        """Install a page as local; requires a free frame."""
+        if self.holds(uid):
+            raise GmsError(f"node {self.node_id} already holds {uid}")
+        if self.free_frames <= 0:
+            raise CapacityError(f"node {self.node_id} is full")
+        self._local[uid] = now
+
+    def oldest_local(self) -> PageUid | None:
+        """The LRU local page, without removing it (None if none)."""
+        return next(iter(self._local), None)
+
+    def evict_oldest_local(self) -> PageUid:
+        """Remove and return the LRU local page."""
+        if not self._local:
+            raise GmsError(f"node {self.node_id} has no local pages")
+        uid, _ = self._local.popitem(last=False)
+        return uid
+
+    def drop_local(self, uid: PageUid) -> None:
+        if uid not in self._local:
+            raise GmsError(f"node {self.node_id} has no local {uid}")
+        del self._local[uid]
+
+    # -- global page management --------------------------------------------
+
+    def add_global(self, uid: PageUid, age: float) -> None:
+        """Host a page on behalf of another node; requires a free frame."""
+        if self.holds(uid):
+            raise GmsError(f"node {self.node_id} already holds {uid}")
+        if self.free_frames <= 0:
+            raise CapacityError(f"node {self.node_id} is full")
+        self._global[uid] = age
+        # Keep the global list ordered oldest-first by age.
+        self._global.move_to_end(uid)
+
+    def remove_global(self, uid: PageUid) -> None:
+        if uid not in self._global:
+            raise GmsError(f"node {self.node_id} has no global {uid}")
+        del self._global[uid]
+
+    def oldest_global(self) -> PageUid | None:
+        """The globally oldest page this node hosts (None if none)."""
+        if not self._global:
+            return None
+        return min(self._global, key=self._global.__getitem__)
+
+    def evict_oldest_global(self) -> PageUid:
+        uid = self.oldest_global()
+        if uid is None:
+            raise GmsError(f"node {self.node_id} hosts no global pages")
+        del self._global[uid]
+        return uid
+
+    def promote_to_local(self, uid: PageUid, now: float) -> None:
+        """A hosted page was faulted by *this* node's own workload."""
+        if uid not in self._global:
+            raise GmsError(f"node {self.node_id} has no global {uid}")
+        del self._global[uid]
+        self._local[uid] = now

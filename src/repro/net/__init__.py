@@ -1,0 +1,61 @@
+"""Network substrate: link models, latency models, fetch timelines.
+
+The paper's simulator models a remote page fault with three components —
+request time, on-the-wire time, and receive time (Section 3.2) — with the
+constants calibrated from a DEC Alpha / AN2 ATM prototype (Tables 1–2,
+Figure 2).  This package provides:
+
+* :mod:`repro.net.params` — link presets (AN2 ATM, idle/loaded Ethernet)
+  and the Figure 1 latency-vs-size curves;
+* :mod:`repro.net.calibration` — the paper's Table 2 constants and a
+  scipy fit of the timeline parameters to them;
+* :mod:`repro.net.timeline` — the five-resource fetch timeline model
+  (Req-CPU, Req-DMA, Wire, Srv-DMA, Srv-CPU) behind Figure 2;
+* :mod:`repro.net.latency` — the :class:`LatencyModel` interface consumed
+  by the simulator, with calibrated, analytic, and scaled variants;
+* :mod:`repro.net.congestion` — the shared receiver-link model giving
+  demand transfers priority over in-flight background transfers.
+"""
+
+from repro.net.calibration import (
+    PAPER_TABLE2,
+    Table2Row,
+    fit_timeline_params,
+    table2_derived_columns,
+)
+from repro.net.congestion import LinkModel, PendingArrivals
+from repro.net.latency import (
+    AnalyticLatencyModel,
+    CalibratedLatencyModel,
+    LatencyModel,
+    ScaledLatencyModel,
+)
+from repro.net.params import (
+    AN2_ATM,
+    ETHERNET_IDLE,
+    ETHERNET_LOADED,
+    LinkParams,
+    transfer_latency_ms,
+)
+from repro.net.timeline import FetchTimeline, TimelineParams, simulate_fetch
+
+__all__ = [
+    "AN2_ATM",
+    "AnalyticLatencyModel",
+    "CalibratedLatencyModel",
+    "ETHERNET_IDLE",
+    "ETHERNET_LOADED",
+    "FetchTimeline",
+    "LatencyModel",
+    "LinkModel",
+    "LinkParams",
+    "PAPER_TABLE2",
+    "PendingArrivals",
+    "ScaledLatencyModel",
+    "Table2Row",
+    "TimelineParams",
+    "fit_timeline_params",
+    "simulate_fetch",
+    "table2_derived_columns",
+    "transfer_latency_ms",
+]

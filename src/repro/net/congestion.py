@@ -1,0 +1,126 @@
+"""Shared receiver-link congestion with demand priority.
+
+The paper's simulator "models congestion delays in the network"
+(Section 3.2).  In a switched ATM fabric the resource that transfers to
+one faulting node actually share is that node's receiving link.  Two kinds
+of traffic use it:
+
+* **demand** transfers — the faulted subpage the program is blocked on;
+* **background** transfers — the rest-of-page (or pipelined follow-on
+  subpages) that eager fullpage fetch ships behind the demand subpage.
+
+Per-VC cell scheduling lets a demand transfer effectively preempt an
+in-flight background transfer, so we model the link as: background
+transfers queue FIFO behind whatever is scheduled; a demand transfer
+starts immediately and pushes every in-flight background arrival back by
+its own wire time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(slots=True)
+class PendingArrivals:
+    """Mutable per-subpage arrival schedule for one in-flight page.
+
+    The simulator and the link model share this object: the link shifts
+    arrival times when demand traffic preempts the transfer, and the
+    simulator reads arrival times when the program touches subpages.
+    """
+
+    arrival_ms: dict[int, float] = field(default_factory=dict)
+    wire_end_ms: float = 0.0
+
+    def shift_after(self, time_ms: float, delta_ms: float) -> None:
+        """Delay every arrival later than ``time_ms`` by ``delta_ms``."""
+        if delta_ms < 0:
+            raise SimulationError("cannot shift arrivals backwards")
+        for subpage, arrival in self.arrival_ms.items():
+            if arrival > time_ms:
+                self.arrival_ms[subpage] = arrival + delta_ms
+        if self.wire_end_ms > time_ms:
+            self.wire_end_ms += delta_ms
+
+    def earliest(self) -> float:
+        if not self.arrival_ms:
+            raise SimulationError("no pending arrivals")
+        return min(self.arrival_ms.values())
+
+    def latest(self) -> float:
+        if not self.arrival_ms:
+            raise SimulationError("no pending arrivals")
+        return max(self.arrival_ms.values())
+
+
+class LinkModel:
+    """The faulting node's shared receive link."""
+
+    def __init__(self) -> None:
+        self._busy_until = 0.0
+        self._in_flight: list[PendingArrivals] = []
+        #: Total background delay added by queueing (for diagnostics).
+        self.total_queueing_delay_ms = 0.0
+        #: Total delay pushed onto background transfers by demand traffic.
+        self.total_preemption_delay_ms = 0.0
+        #: Counts of transfers seen.
+        self.demand_transfers = 0
+        self.background_transfers = 0
+
+    def _reap(self, now_ms: float) -> None:
+        self._in_flight = [
+            p for p in self._in_flight if p.wire_end_ms > now_ms
+        ]
+
+    def demand(self, ready_ms: float, wire_ms: float) -> None:
+        """Account a demand transfer occupying the wire for ``wire_ms``.
+
+        The demand transfer itself is never delayed (the program is blocked
+        on it and it has priority); instead every in-flight background
+        arrival after its start is pushed back by its wire time.
+        """
+        if wire_ms < 0:
+            raise SimulationError("wire time cannot be negative")
+        self.demand_transfers += 1
+        self._reap(ready_ms)
+        for pending in self._in_flight:
+            before = pending.wire_end_ms
+            pending.shift_after(ready_ms, wire_ms)
+            self.total_preemption_delay_ms += pending.wire_end_ms - before
+        if self._busy_until > ready_ms:
+            # The preempted background traffic finishes later too.
+            self._busy_until += wire_ms
+        self._busy_until = max(self._busy_until, ready_ms + wire_ms)
+
+    def background(
+        self,
+        ready_ms: float,
+        wire_ms: float,
+        pending: PendingArrivals,
+    ) -> float:
+        """Schedule a background transfer; returns its queueing delay.
+
+        The transfer's nominal schedule is already written in ``pending``
+        (arrival times assuming an idle link).  If the link is busy at
+        ``ready_ms`` the whole schedule slides back by the wait.
+        """
+        if wire_ms < 0:
+            raise SimulationError("wire time cannot be negative")
+        self.background_transfers += 1
+        self._reap(ready_ms)
+        start = max(ready_ms, self._busy_until)
+        delay = start - ready_ms
+        if delay > 0:
+            pending.shift_after(0.0, delay)
+            self.total_queueing_delay_ms += delay
+        pending.wire_end_ms = max(pending.wire_end_ms, start + wire_ms)
+        self._busy_until = start + wire_ms
+        self._in_flight.append(pending)
+        return delay
+
+    @property
+    def busy_until_ms(self) -> float:
+        return self._busy_until

@@ -1,0 +1,142 @@
+"""Simulated prototype measurement: from event logs to Table 2.
+
+The paper's calibration process (Section 3.1.1): "we instrumented our
+prototype to log crucial events.  We extracted median latencies for
+these events from logs produced by running a memory-intensive program on
+our instrumented kernel configured for various subpage alternatives.
+These values were then used to calibrate the simulator."
+
+This module reproduces that *process* on the timeline model: it runs
+many fetches per configuration with realistic per-fetch jitter (cache
+state, interrupt timing, cell-level scheduling), logs the resume and
+completion events, and extracts medians — which must recover the
+underlying noiseless latencies.  It is the bridge between the
+"prototype" (the fitted timeline model) and the calibrated latency
+tables the simulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.timeline import TimelineParams, simulate_fetch
+
+
+@dataclass(frozen=True, slots=True)
+class FetchSample:
+    """One logged fetch: the two program-visible events."""
+
+    subpage_bytes: int
+    resume_ms: float
+    completion_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class MeasuredRow:
+    """Median latencies for one subpage size (a Table 2 row)."""
+
+    subpage_bytes: int
+    subpage_median_ms: float
+    rest_median_ms: float
+    samples: int
+
+    @property
+    def overlap_window_ms(self) -> float:
+        return max(0.0, self.rest_median_ms - self.subpage_median_ms)
+
+
+@dataclass(frozen=True, slots=True)
+class JitterModel:
+    """Per-fetch measurement noise.
+
+    ``proportional`` scales multiplicatively (cache/TLB state on the
+    software path); ``absolute_ms`` adds interrupt-timing noise.  Both
+    are truncated at zero — a fetch can be slow, never acausal.
+    """
+
+    proportional: float = 0.04
+    absolute_ms: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.proportional < 0 or self.absolute_ms < 0:
+            raise ConfigError("jitter magnitudes cannot be negative")
+
+    def apply(
+        self, value_ms: float, rng: np.random.Generator
+    ) -> float:
+        noisy = value_ms * (
+            1.0 + self.proportional * rng.standard_normal()
+        ) + self.absolute_ms * rng.standard_normal()
+        return max(0.0, noisy)
+
+
+def log_fetches(
+    params: TimelineParams,
+    subpage_bytes: int,
+    samples: int,
+    *,
+    page_bytes: int = 8192,
+    jitter: JitterModel | None = None,
+    seed: int = 0,
+) -> list[FetchSample]:
+    """Run ``samples`` jittered fetches and log their events."""
+    if samples < 1:
+        raise ConfigError("need at least one sample")
+    jitter = jitter if jitter is not None else JitterModel()
+    rng = np.random.default_rng(seed)
+    scheme = "fullpage" if subpage_bytes >= page_bytes else "eager"
+    clean = simulate_fetch(params, page_bytes, subpage_bytes,
+                           scheme=scheme)
+    out = []
+    for _ in range(samples):
+        resume = jitter.apply(clean.resume_ms, rng)
+        completion = max(
+            resume, jitter.apply(clean.completion_ms, rng)
+        )
+        out.append(
+            FetchSample(
+                subpage_bytes=subpage_bytes,
+                resume_ms=resume,
+                completion_ms=completion,
+            )
+        )
+    return out
+
+
+def extract_medians(samples: list[FetchSample]) -> MeasuredRow:
+    """The paper's median extraction for one configuration's log."""
+    if not samples:
+        raise ConfigError("empty fetch log")
+    sizes = {s.subpage_bytes for s in samples}
+    if len(sizes) != 1:
+        raise ConfigError("log mixes subpage sizes")
+    resumes = np.array([s.resume_ms for s in samples])
+    completions = np.array([s.completion_ms for s in samples])
+    return MeasuredRow(
+        subpage_bytes=samples[0].subpage_bytes,
+        subpage_median_ms=float(np.median(resumes)),
+        rest_median_ms=float(np.median(completions)),
+        samples=len(samples),
+    )
+
+
+def measure_table(
+    params: TimelineParams,
+    sizes: tuple[int, ...] = (256, 512, 1024, 2048, 4096),
+    samples: int = 101,
+    *,
+    jitter: JitterModel | None = None,
+    seed: int = 0,
+) -> list[MeasuredRow]:
+    """Produce a full Table-2-style table of measured medians."""
+    return [
+        extract_medians(
+            log_fetches(
+                params, size, samples, jitter=jitter, seed=seed + size
+            )
+        )
+        for size in sizes
+    ]

@@ -1,0 +1,96 @@
+"""Link parameter presets and simple latency curves (paper Figure 1).
+
+Figure 1 plots transfer latency against page size for a disk subsystem, a
+heavily-loaded 10 Mb/s Ethernet, a lightly-loaded Ethernet, and an ATM
+network on a DEC Alpha.  :func:`transfer_latency_ms` gives the
+fixed-overhead-plus-wire-time model those network curves come from; the
+disk curve comes from :mod:`repro.disk`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.units import mbit_per_s_to_bytes_per_ms
+
+
+@dataclass(frozen=True, slots=True)
+class LinkParams:
+    """A network link as seen by the paging system.
+
+    ``fixed_overhead_ms`` bundles controller setup, protocol software, and
+    interrupt cost per transfer; ``effective_mbits`` is the *delivered*
+    bandwidth after framing (for loaded links, after contention).
+    """
+
+    name: str
+    raw_mbits: float
+    effective_mbits: float
+    fixed_overhead_ms: float
+
+    def __post_init__(self) -> None:
+        if self.raw_mbits <= 0 or self.effective_mbits <= 0:
+            raise ConfigError("link rates must be positive")
+        if self.effective_mbits > self.raw_mbits:
+            raise ConfigError("effective rate cannot exceed raw rate")
+        if self.fixed_overhead_ms < 0:
+            raise ConfigError("fixed overhead cannot be negative")
+
+    @property
+    def bytes_per_ms(self) -> float:
+        return mbit_per_s_to_bytes_per_ms(self.effective_mbits)
+
+    def wire_time_ms(self, size_bytes: int) -> float:
+        """Pure on-the-wire time for ``size_bytes``."""
+        if size_bytes < 0:
+            raise ConfigError("transfer size cannot be negative")
+        return size_bytes / self.bytes_per_ms
+
+    def scaled(self, bandwidth_factor: float) -> "LinkParams":
+        """The same link with bandwidth multiplied by ``bandwidth_factor``.
+
+        Used by the network-speed sensitivity ablation (the paper's
+        conclusion predicts smaller optimal subpages as networks speed up).
+        """
+        if bandwidth_factor <= 0:
+            raise ConfigError("bandwidth factor must be positive")
+        return replace(
+            self,
+            name=f"{self.name} x{bandwidth_factor:g}",
+            raw_mbits=self.raw_mbits * bandwidth_factor,
+            effective_mbits=self.effective_mbits * bandwidth_factor,
+        )
+
+
+#: DEC AN2 ATM: 155 Mb/s link.  ATM cells carry 48 payload bytes per 53, so
+#: delivered bandwidth is ~140 Mb/s; fixed overhead reflects the paper's
+#: optimized GMS request path.
+AN2_ATM = LinkParams(
+    name="AN2 ATM",
+    raw_mbits=155.0,
+    effective_mbits=155.0 * 48.0 / 53.0,
+    fixed_overhead_ms=0.30,
+)
+
+#: Lightly-loaded 10 Mb/s Ethernet.
+ETHERNET_IDLE = LinkParams(
+    name="Ethernet (idle)",
+    raw_mbits=10.0,
+    effective_mbits=9.0,
+    fixed_overhead_ms=0.60,
+)
+
+#: Heavily-loaded 10 Mb/s Ethernet: contention roughly triples the
+#: effective transfer time and adds queueing to the fixed cost.
+ETHERNET_LOADED = LinkParams(
+    name="Ethernet (loaded)",
+    raw_mbits=10.0,
+    effective_mbits=3.0,
+    fixed_overhead_ms=2.0,
+)
+
+
+def transfer_latency_ms(link: LinkParams, size_bytes: int) -> float:
+    """Total latency to move ``size_bytes`` over ``link`` (Figure 1 model)."""
+    return link.fixed_overhead_ms + link.wire_time_ms(size_bytes)

@@ -1,0 +1,244 @@
+"""Component-level remote-fetch timeline model (paper Figure 2).
+
+Figure 2 breaks a remote page fetch into five components: Req-CPU,
+Req-DMA, Wire, Srv-DMA, and Srv-CPU.  Data segments (the faulted subpage,
+then the rest of the page — or a train of pipelined subpages) flow through
+a three-stage pipeline, Srv-DMA -> Wire -> Req-DMA, at chunk granularity,
+so a later stage can start on a chunk while earlier stages work on the
+next.  That chunked cut-through is what produces the paper's observations
+that (a) the split transfer can *complete* earlier than the monolithic
+fullpage transfer (sender pipelining), and (b) a 1K initial subpage
+finishes the total operation slightly *later* than a 2K one, because the
+too-small first segment drains the wire early and leaves a bubble
+(Section 3.1.1).
+
+Parameters are fitted to the prototype's Table 2 medians by
+:func:`repro.net.calibration.fit_timeline_params`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import is_power_of_two
+
+
+class Resource(enum.Enum):
+    """The five timeline rows of Figure 2."""
+
+    REQ_CPU = "Req-CPU"
+    REQ_DMA = "Req-DMA"
+    WIRE = "Wire"
+    SRV_DMA = "Srv-DMA"
+    SRV_CPU = "Srv-CPU"
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One busy interval on one resource."""
+
+    resource: Resource
+    start_ms: float
+    end_ms: float
+    label: str
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineParams:
+    """Rates and fixed costs of the fetch pipeline (ms and ms/KB)."""
+
+    request_fixed_ms: float = 0.27
+    srv_dma_ms_per_kb: float = 0.040
+    wire_ms_per_kb: float = 0.055
+    req_dma_ms_per_kb: float = 0.040
+    recv_fixed_ms: float = 0.15
+    recv_copy_ms_per_kb: float = 0.030
+    srv_segment_gap_ms: float = 0.05
+    chunk_bytes: int = 512
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ConfigError("chunk_bytes must be positive")
+        for name in (
+            "request_fixed_ms",
+            "srv_dma_ms_per_kb",
+            "wire_ms_per_kb",
+            "req_dma_ms_per_kb",
+            "recv_fixed_ms",
+            "recv_copy_ms_per_kb",
+            "srv_segment_gap_ms",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} cannot be negative")
+
+    def per_byte(self, ms_per_kb: float) -> float:
+        return ms_per_kb / 1024.0
+
+
+@dataclass(slots=True)
+class FetchTimeline:
+    """Result of simulating one remote fetch."""
+
+    scheme: str
+    page_bytes: int
+    subpage_bytes: int
+    resume_ms: float
+    completion_ms: float
+    #: Arrival time of each segment, in send order (segment 0 is the
+    #: faulted subpage; for fullpage fetch there is a single segment).
+    segment_arrivals_ms: list[float]
+    spans: list[Span] = field(default_factory=list)
+
+    @property
+    def overlap_window_ms(self) -> float:
+        """Time between program resume and full-page completion."""
+        return max(0.0, self.completion_ms - self.resume_ms)
+
+
+def simulate_fetch(
+    params: TimelineParams,
+    page_bytes: int,
+    subpage_bytes: int,
+    *,
+    scheme: str = "eager",
+    pipeline_subpages: int = 0,
+) -> FetchTimeline:
+    """Simulate one remote fetch and return its timeline.
+
+    Parameters
+    ----------
+    scheme:
+        ``"fullpage"`` — one segment of ``page_bytes``;
+        ``"eager"`` — the faulted subpage, then the remainder in one
+        segment;
+        ``"pipelined"`` — the faulted subpage, then ``pipeline_subpages``
+        individual subpages, then the remainder in one segment.
+    """
+    if not is_power_of_two(page_bytes):
+        raise ConfigError(f"page size {page_bytes} must be a power of two")
+    if not is_power_of_two(subpage_bytes) or subpage_bytes > page_bytes:
+        raise ConfigError(
+            f"subpage size {subpage_bytes} must be a power of two "
+            f"<= page size {page_bytes}"
+        )
+
+    segments = _segment_sizes(
+        scheme, page_bytes, subpage_bytes, pipeline_subpages
+    )
+
+    spans: list[Span] = []
+    # Request phase: fault handling + control message + server processing.
+    # For drawing purposes the fixed request cost is split 45% requester
+    # CPU, 20% wire (control message), 35% server CPU.
+    t = 0.0
+    req_cpu_end = t + params.request_fixed_ms * 0.45
+    ctl_wire_end = req_cpu_end + params.request_fixed_ms * 0.20
+    srv_cpu_end = ctl_wire_end + params.request_fixed_ms * 0.35
+    spans.append(Span(Resource.REQ_CPU, t, req_cpu_end, "fault+request"))
+    spans.append(Span(Resource.WIRE, req_cpu_end, ctl_wire_end, "ctl msg"))
+    spans.append(Span(Resource.SRV_CPU, ctl_wire_end, srv_cpu_end, "serve"))
+
+    srv_dma_free = srv_cpu_end
+    wire_free = srv_cpu_end
+    req_dma_free = srv_cpu_end
+
+    arrivals: list[float] = []
+    for seg_index, seg_bytes in enumerate(segments):
+        label = "subpage" if seg_index == 0 and len(segments) > 1 else (
+            f"seg{seg_index}"
+        )
+        if seg_index > 0:
+            srv_dma_free += params.srv_segment_gap_ms
+        seg_dma_start = srv_dma_free
+        last_req_dma_end = srv_dma_free
+        offset = 0
+        while offset < seg_bytes:
+            chunk = min(params.chunk_bytes, seg_bytes - offset)
+            sd_start = srv_dma_free
+            sd_end = sd_start + chunk * params.per_byte(
+                params.srv_dma_ms_per_kb
+            )
+            srv_dma_free = sd_end
+            w_start = max(wire_free, sd_end)
+            w_end = w_start + chunk * params.per_byte(params.wire_ms_per_kb)
+            wire_free = w_end
+            rd_start = max(req_dma_free, w_end)
+            rd_end = rd_start + chunk * params.per_byte(
+                params.req_dma_ms_per_kb
+            )
+            req_dma_free = rd_end
+            last_req_dma_end = rd_end
+            offset += chunk
+        # Coalesced drawing spans per segment (chunk detail is invisible
+        # at figure scale).
+        spans.append(
+            Span(Resource.SRV_DMA, seg_dma_start, srv_dma_free, label)
+        )
+        spans.append(
+            Span(
+                Resource.WIRE,
+                max(seg_dma_start, wire_free - seg_bytes
+                    * params.per_byte(params.wire_ms_per_kb)),
+                wire_free,
+                label,
+            )
+        )
+        # Receiver interrupt + copy into place.
+        recv_end = (
+            last_req_dma_end
+            + params.recv_fixed_ms
+            + seg_bytes * params.per_byte(params.recv_copy_ms_per_kb)
+        )
+        spans.append(
+            Span(Resource.REQ_DMA, last_req_dma_end
+                 - seg_bytes * params.per_byte(params.req_dma_ms_per_kb),
+                 last_req_dma_end, label)
+        )
+        spans.append(
+            Span(Resource.REQ_CPU, last_req_dma_end, recv_end,
+                 f"recv {label}")
+        )
+        arrivals.append(recv_end)
+
+    resume = arrivals[0]
+    completion = arrivals[-1]
+    return FetchTimeline(
+        scheme=scheme,
+        page_bytes=page_bytes,
+        subpage_bytes=subpage_bytes,
+        resume_ms=resume,
+        completion_ms=completion,
+        segment_arrivals_ms=arrivals,
+        spans=spans,
+    )
+
+
+def _segment_sizes(
+    scheme: str, page_bytes: int, subpage_bytes: int, pipeline_subpages: int
+) -> list[int]:
+    """Sizes of the data segments the server sends, in order."""
+    if scheme == "fullpage":
+        return [page_bytes]
+    if scheme == "eager":
+        if subpage_bytes >= page_bytes:
+            return [page_bytes]
+        return [subpage_bytes, page_bytes - subpage_bytes]
+    if scheme == "pipelined":
+        if pipeline_subpages < 0:
+            raise ConfigError("pipeline_subpages cannot be negative")
+        total_sub = page_bytes // subpage_bytes
+        follow = min(pipeline_subpages, max(0, total_sub - 1))
+        segments = [subpage_bytes] * (1 + follow)
+        remainder = page_bytes - subpage_bytes * (1 + follow)
+        if remainder > 0:
+            segments.append(remainder)
+        return segments
+    raise ConfigError(
+        f"unknown scheme {scheme!r}; expected fullpage, eager, or pipelined"
+    )

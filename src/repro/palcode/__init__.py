@@ -1,0 +1,32 @@
+"""PALcode software-subpage protection cost model.
+
+The prototype implements subpage protection in software by modifying the
+DEC Alpha 250's PALcode (paper Section 3.1): a page with missing subpages
+has read/write access disabled; accesses trap to PALcode, which checks 32
+per-page valid bits (one per 256-byte block) and *emulates* the load or
+store when the target subpage is resident.  Table 1 gives the emulation
+costs; the paper reports that emulation slowed execution by less than 1%
+for its workloads.
+
+This package models that mechanism's cost so the simulator can be run in
+"prototype" mode (software protection, emulation charged per access to an
+incomplete page) as well as the default "TLB-assisted" mode (per-subpage
+valid bits in the TLB; zero overhead on resident subpages).
+"""
+
+from repro.palcode.costs import (
+    ALPHA250_CLOCK_MHZ,
+    PAL_COSTS,
+    PalOperation,
+    PalTimings,
+)
+from repro.palcode.emulator import EmulationStats, PalEmulator
+
+__all__ = [
+    "ALPHA250_CLOCK_MHZ",
+    "PAL_COSTS",
+    "EmulationStats",
+    "PalEmulator",
+    "PalOperation",
+    "PalTimings",
+]

@@ -1,0 +1,77 @@
+"""Table 1: performance of PALcode load/store emulation.
+
+Cycle counts are on the 266-MHz Alpha 250.  A "fast" load or store occurs
+when the emulated operation hits the same page as the previous emulated
+operation (the PALcode caches that page's valid bits); a "slow" one must
+re-fetch the valid bits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.units import cycles_to_ms
+
+ALPHA250_CLOCK_MHZ = 266.0
+
+
+class PalOperation(enum.Enum):
+    FAST_LOAD = "fast load"
+    SLOW_LOAD = "slow load"
+    FAST_STORE = "fast store"
+    SLOW_STORE = "slow store"
+    NULL_PAL_CALL = "null PAL call"
+    L1_CACHE_HIT = "L1 cache hit"
+    L2_CACHE_HIT = "L2 cache hit"
+    L2_MISS = "L2 miss"
+
+
+@dataclass(frozen=True, slots=True)
+class PalTimings:
+    """Cycle count and derived wall time for one operation."""
+
+    operation: PalOperation
+    cycles: int
+    clock_mhz: float = ALPHA250_CLOCK_MHZ
+
+    @property
+    def time_ms(self) -> float:
+        return cycles_to_ms(self.cycles, self.clock_mhz)
+
+    @property
+    def time_ns(self) -> float:
+        return self.time_ms * 1e6
+
+
+#: Paper Table 1 (cycles at 266 MHz; times follow from the clock).
+PAL_COSTS: dict[PalOperation, PalTimings] = {
+    op: PalTimings(op, cycles)
+    for op, cycles in (
+        (PalOperation.FAST_LOAD, 52),
+        (PalOperation.SLOW_LOAD, 95),
+        (PalOperation.FAST_STORE, 64),
+        (PalOperation.SLOW_STORE, 102),
+        (PalOperation.NULL_PAL_CALL, 15),
+        (PalOperation.L1_CACHE_HIT, 3),
+        (PalOperation.L2_CACHE_HIT, 8),
+        (PalOperation.L2_MISS, 84),
+    )
+}
+
+
+def emulation_cost_ms(is_write: bool, same_page_as_last: bool) -> float:
+    """Wall time of one emulated access (Table 1)."""
+    if is_write:
+        op = (
+            PalOperation.FAST_STORE
+            if same_page_as_last
+            else PalOperation.SLOW_STORE
+        )
+    else:
+        op = (
+            PalOperation.FAST_LOAD
+            if same_page_as_last
+            else PalOperation.SLOW_LOAD
+        )
+    return PAL_COSTS[op].time_ms

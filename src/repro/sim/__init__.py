@@ -1,0 +1,60 @@
+"""The trace-driven simulator (paper Section 3.2).
+
+The simulator consumes a run-length-compressed memory-reference trace and
+models paging to remote memory (via a configurable fetch scheme) or to
+disk, using memory accesses as clock events.  It produces a
+:class:`~repro.sim.results.SimulationResult` with the paging behaviour the
+paper reports: fault counts and kinds, execution / subpage-latency /
+page-wait time components, per-fault records, overlap attribution inputs,
+and the next-subpage distance histogram.
+"""
+
+from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.replacement import (
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.sim.multinode import (
+    MultiNodeResult,
+    NodeWorkload,
+    run_multi_workload,
+)
+from repro.sim.results import SimulationResult, TimeComponents
+from repro.sim.simulator import Simulator, simulate
+from repro.sim.sweep import (
+    SeedStudy,
+    SweepResult,
+    run_memory_sweep,
+    run_seed_study,
+    run_subpage_sweep,
+)
+from repro.sim.tlb import TlbModel, TlbStats
+
+__all__ = [
+    "ClockPolicy",
+    "FifoPolicy",
+    "LruPolicy",
+    "MultiNodeResult",
+    "NodeWorkload",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SeedStudy",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "SweepResult",
+    "TimeComponents",
+    "TlbModel",
+    "TlbStats",
+    "make_policy",
+    "memory_pages_for",
+    "run_memory_sweep",
+    "run_multi_workload",
+    "run_seed_study",
+    "run_subpage_sweep",
+    "simulate",
+]

@@ -1,0 +1,87 @@
+"""Scheme comparisons: speedups and component deltas between runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate
+from repro.trace.compress import RunTrace
+
+
+@dataclass(frozen=True, slots=True)
+class SchemeComparison:
+    """A candidate run against its baseline."""
+
+    baseline: SimulationResult
+    candidate: SimulationResult
+
+    @property
+    def speedup(self) -> float:
+        return self.candidate.speedup_vs(self.baseline)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional runtime reduction (the paper's "% improvement")."""
+        return self.candidate.improvement_vs(self.baseline)
+
+    @property
+    def page_wait_reduction(self) -> float:
+        """Fractional page_wait reduction (Figure 8's headline: -42%)."""
+        base = self.baseline.components.page_wait_ms
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.candidate.components.page_wait_ms / base
+
+    def component_deltas_ms(self) -> dict[str, float]:
+        base = self.baseline.components.as_dict()
+        cand = self.candidate.components.as_dict()
+        return {key: cand[key] - base[key] for key in base}
+
+
+def compare_schemes(
+    trace: RunTrace,
+    base_config: SimulationConfig,
+    baseline_scheme: str = "fullpage",
+    candidate_scheme: str = "eager",
+    **candidate_kwargs,
+) -> SchemeComparison:
+    """Run two schemes on the same trace/config and compare them.
+
+    The fullpage baseline always uses full pages (its subpage size is the
+    page size); the candidate keeps the configured subpage size.
+    """
+    if base_config.backing == "disk":
+        raise ConfigError("scheme comparison requires remote backing")
+    baseline_cfg = base_config.with_overrides(
+        scheme=baseline_scheme,
+        scheme_kwargs={},
+        subpage_bytes=(
+            base_config.page_bytes
+            if baseline_scheme == "fullpage"
+            else base_config.subpage_bytes
+        ),
+    )
+    candidate_cfg = base_config.with_overrides(
+        scheme=candidate_scheme, scheme_kwargs=candidate_kwargs
+    )
+    return SchemeComparison(
+        baseline=simulate(trace, baseline_cfg),
+        candidate=simulate(trace, candidate_cfg),
+    )
+
+
+def disk_speedup(
+    trace: RunTrace, config: SimulationConfig
+) -> SchemeComparison:
+    """Global-memory run vs the same run with disk backing."""
+    disk_cfg = config.with_overrides(
+        backing="disk", scheme="fullpage",
+        subpage_bytes=config.page_bytes,
+    )
+    return SchemeComparison(
+        baseline=simulate(trace, disk_cfg),
+        candidate=simulate(trace, config),
+    )

@@ -1,0 +1,575 @@
+"""The trace-driven simulator main loop.
+
+The simulator walks a run-length-compressed reference trace, maintaining
+local-memory residency at page granularity and validity at subpage
+granularity.  Memory accesses are the clock (paper Section 3.2): each
+reference costs ``event_ns`` (times the trace's dilation factor), and all
+fault/transfer latencies are injected in milliseconds on the same axis.
+
+Correctness relies on a property of the machine model: faults and stalls
+can only occur on the *first* reference of a run (all later references in
+a run hit the same 256-byte block, which cannot become invalid
+mid-run because residency only changes at faults and arrivals only make
+data *more* valid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fault import FaultKind, FaultRecord
+from repro.core.plans import FaultContext
+from repro.disk.presets import paper_disk
+from repro.errors import SimulationError
+from repro.gms.cluster import Cluster, PageLocation
+from repro.gms.ids import PageUid
+from repro.net.congestion import LinkModel, PendingArrivals
+from repro.net.latency import CalibratedLatencyModel
+from repro.palcode.emulator import PalEmulator
+from repro.sim.config import SimulationConfig
+from repro.sim.replacement import make_policy
+from repro.sim.results import SimulationResult
+from repro.sim.tlb import TlbModel
+from repro.trace.compress import RunTrace
+
+#: Default node id of the active (trace-running) node in cluster mode.
+ACTIVE_NODE = 0
+
+#: UID namespace for pages shared across workloads (shared library code
+#: and the like); disjoint from any real node id.
+SHARED_ORIGIN = 1 << 30
+
+
+class _Frame:
+    """Residency state of one local page."""
+
+    __slots__ = ("valid_bits", "pending", "dirty", "record", "distance_from")
+
+    def __init__(
+        self,
+        valid_bits: int,
+        pending: PendingArrivals | None,
+        dirty: bool,
+        record: FaultRecord | None,
+        distance_from: int | None,
+    ) -> None:
+        self.valid_bits = valid_bits
+        self.pending = pending
+        self.dirty = dirty
+        self.record = record
+        self.distance_from = distance_from
+
+
+class Simulator:
+    """Runs one :class:`SimulationConfig` over traces.
+
+    ``cluster`` may supply a prebuilt (and possibly shared) GMS cluster
+    for ``backing="cluster"`` runs; the caller is then responsible for
+    node layout and warm-filling.  Without it, the simulator builds a
+    private warm cluster per run.
+    """
+
+    def __init__(
+        self, config: SimulationConfig, cluster: Cluster | None = None
+    ) -> None:
+        config.validate()
+        self.config = config
+        self._external_cluster = cluster
+        self.scheme = config.build_scheme()
+        self.latency = (
+            config.latency_model
+            if config.latency_model is not None
+            else CalibratedLatencyModel(page_bytes=config.page_bytes)
+        )
+        if self.latency.page_bytes != config.page_bytes:
+            raise SimulationError(
+                f"latency model page size {self.latency.page_bytes} != "
+                f"config page size {config.page_bytes}"
+            )
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, trace: RunTrace) -> SimulationResult:
+        """Simulate ``trace`` and return the result."""
+        cfg = self.config
+        if trace.page_bytes != cfg.page_bytes:
+            raise SimulationError(
+                f"trace page size {trace.page_bytes} != config "
+                f"{cfg.page_bytes}"
+            )
+
+        event_ms = cfg.event_ns * 1e-6
+        if cfg.use_trace_dilation:
+            event_ms *= trace.dilation
+
+        # Per-run columns as plain Python lists (fastest to iterate).
+        pages = trace.pages.tolist()
+        subpages = trace.subpages(cfg.subpage_bytes).tolist()
+        blocks = trace.blocks.tolist()
+        counts = trace.counts.tolist()
+        writes = trace.writes.tolist()
+
+        full_mask = (1 << (cfg.page_bytes // cfg.subpage_bytes)) - 1
+
+        policy = make_policy(cfg.replacement, seed=cfg.seed)
+        link = LinkModel()
+        disk = cfg.disk_model if cfg.disk_model is not None else paper_disk(
+            cfg.page_bytes
+        )
+        disk.reset()
+        tlb = (
+            TlbModel(cfg.tlb_entries, cfg.tlb_miss_ns)
+            if cfg.tlb_entries > 0
+            else None
+        )
+        pal = PalEmulator() if cfg.protection == "palcode" else None
+        cluster = None
+        if cfg.backing == "cluster":
+            cluster = (
+                self._external_cluster
+                if self._external_cluster is not None
+                else self._build_cluster(trace)
+            )
+
+        frames: dict[int, _Frame] = {}
+        result = SimulationResult(
+            trace_name=trace.name,
+            scheme_label=cfg.scheme_label(),
+            scheme_name=self.scheme.name,
+            subpage_bytes=cfg.subpage_bytes,
+            page_bytes=cfg.page_bytes,
+            memory_pages=cfg.memory_pages,
+            backing=cfg.backing,
+            num_references=trace.num_references,
+            num_runs=trace.num_runs,
+            event_cost_ms=event_ms,
+        )
+        state = _RunState(
+            frames=frames,
+            policy=policy,
+            link=link,
+            disk=disk,
+            tlb=tlb,
+            pal=pal,
+            cluster=cluster,
+            result=result,
+            event_ms=event_ms,
+            full_mask=full_mask,
+        )
+
+        clock = 0.0
+        last_page = -1
+        track_dist = cfg.track_distances
+
+        for page, sp, block, count, write in zip(
+            pages, subpages, blocks, counts, writes
+        ):
+            frame = frames.get(page)
+            if frame is None:
+                clock = self._page_fault(
+                    state, clock, page, sp, block, write
+                )
+                frame = frames[page]
+                last_page = page
+                if tlb is not None and not tlb.access(page):
+                    # The TLB misses before the fault is even detected;
+                    # the walk cost is paid on top of the fault service.
+                    clock += tlb.miss_ms
+                if pal is not None and frame.pending is not None:
+                    # Software protection: the rest of the faulting run
+                    # executes against a still-incomplete page.
+                    self._charge_emulation(
+                        state, clock, page, frame, count, write
+                    )
+            else:
+                if page != last_page:
+                    policy.touch(page)
+                    last_page = page
+                    if tlb is not None and not tlb.access(page):
+                        clock += tlb.miss_ms
+                if track_dist and frame.distance_from is not None:
+                    if sp != frame.distance_from:
+                        distance = sp - frame.distance_from
+                        hist = result.distance_histogram
+                        hist[distance] = hist.get(distance, 0) + 1
+                        frame.distance_from = None
+                if frame.pending is not None or frame.valid_bits != full_mask:
+                    clock = self._touch_incomplete(
+                        state, clock, page, frame, sp, block, write, count
+                    )
+                if write and not frame.dirty:
+                    frame.dirty = True
+            clock += count * event_ms
+
+        self._finalize(state, clock)
+        return result
+
+    # -- fault handling ------------------------------------------------------
+
+    def _page_fault(
+        self,
+        state: "_RunState",
+        clock: float,
+        page: int,
+        sp: int,
+        block: int,
+        is_write: bool,
+    ) -> float:
+        cfg = self.config
+        result = state.result
+        frames = state.frames
+
+        if len(frames) >= cfg.memory_pages:
+            self._evict(state, clock)
+
+        service = cfg.backing
+        if state.cluster is not None:
+            got = state.cluster.getpage(
+                cfg.cluster_node_id, self._uid(page), clock
+            )
+            service = (
+                "disk" if got.location is PageLocation.DISK else "remote"
+            )
+
+        if service == "disk":
+            latency = state.disk.read_page(page)
+            resume = clock + latency
+            record = FaultRecord(
+                page=page,
+                subpage=sp,
+                kind=FaultKind.DISK,
+                time_ms=clock,
+                sp_latency_ms=latency,
+                window_start_ms=resume,
+                window_end_ms=resume,
+            )
+            result.disk_faults += 1
+            frame = _Frame(
+                valid_bits=state.full_mask,
+                pending=None,
+                dirty=is_write,
+                record=record,
+                distance_from=sp if cfg.track_distances else None,
+            )
+        else:
+            ctx = FaultContext(
+                now_ms=clock,
+                page=page,
+                faulted_subpage=sp,
+                faulted_block=block,
+                subpage_bytes=cfg.subpage_bytes,
+                page_bytes=cfg.page_bytes,
+                latency=self.latency,
+            )
+            plan = self.scheme.plan_fault(ctx)
+            overlapped = state.link.busy_until_ms > clock
+            if cfg.congestion:
+                state.link.demand(
+                    clock + self.latency.request_fixed_ms,
+                    plan.demand_wire_ms,
+                )
+            resume = plan.resume_ms
+            valid_bits = 0
+            follow: dict[int, float] = {}
+            for index, arrival in plan.arrivals_ms.items():
+                if arrival <= resume:
+                    valid_bits |= 1 << index
+                else:
+                    follow[index] = arrival
+            pending = None
+            if follow:
+                pending = PendingArrivals(
+                    arrival_ms=follow,
+                    wire_end_ms=plan.background_ready_ms
+                    + plan.background_wire_ms,
+                )
+                if cfg.congestion and plan.background_wire_ms > 0:
+                    state.link.background(
+                        plan.background_ready_ms,
+                        plan.background_wire_ms,
+                        pending,
+                    )
+            record = FaultRecord(
+                page=page,
+                subpage=sp,
+                kind=FaultKind.REMOTE,
+                time_ms=clock,
+                sp_latency_ms=resume - clock,
+                window_start_ms=resume,
+                window_end_ms=pending.latest() if pending else resume,
+                cpu_overhead_ms=plan.cpu_overhead_ms,
+                overlapped_another=overlapped,
+            )
+            result.remote_faults += 1
+            if overlapped:
+                result.overlapped_faults += 1
+            frame = _Frame(
+                valid_bits=valid_bits,
+                pending=pending,
+                dirty=is_write,
+                record=record,
+                distance_from=sp if cfg.track_distances else None,
+            )
+
+        state.stalls.append((clock, resume))
+        if cfg.record_faults:
+            result.fault_records.append(record)
+        result.components.sp_latency_ms += record.sp_latency_ms
+        result.components.cpu_overhead_ms += record.cpu_overhead_ms
+        frames[page] = frame
+        state.policy.insert(page)
+        return resume + record.cpu_overhead_ms
+
+    def _touch_incomplete(
+        self,
+        state: "_RunState",
+        clock: float,
+        page: int,
+        frame: _Frame,
+        sp: int,
+        block: int,
+        is_write: bool,
+        count: int,
+    ) -> float:
+        """Access path for a page that is resident but incomplete."""
+        result = state.result
+        if not frame.valid_bits >> sp & 1:
+            pending = frame.pending
+            arrival = (
+                pending.arrival_ms.get(sp) if pending is not None else None
+            )
+            if arrival is None:
+                # Lazy fetch: the subpage was never requested; fault it.
+                clock = self._subpage_fault(
+                    state, clock, page, frame, sp, block
+                )
+            elif arrival > clock:
+                state.stalls.append((clock, arrival))
+                if frame.record is not None:
+                    frame.record.add_page_wait(clock, arrival)
+                result.components.page_wait_ms += arrival - clock
+                clock = arrival
+                frame.valid_bits |= 1 << sp
+            else:
+                frame.valid_bits |= 1 << sp
+
+        # Fold completed transfers: once everything has arrived the page
+        # behaves like any fully-resident page (access re-enabled).
+        pending = frame.pending
+        if pending is not None:
+            latest = pending.latest()
+            if clock >= latest:
+                frame.valid_bits = state.full_mask
+                frame.pending = None
+                if frame.record is not None:
+                    frame.record.window_end_ms = latest
+            elif state.pal is not None:
+                self._charge_emulation(
+                    state, clock, page, frame, count, is_write
+                )
+        return clock
+
+    def _charge_emulation(
+        self,
+        state: "_RunState",
+        clock: float,
+        page: int,
+        frame: _Frame,
+        count: int,
+        is_write: bool,
+    ) -> None:
+        """Software protection: references to an incomplete page are
+        emulated (Table 1 costs) until its last subpage arrives."""
+        assert state.pal is not None and frame.pending is not None
+        latest = frame.pending.latest()
+        refs_until_done = int((latest - clock) / state.event_ms) + 1
+        emulated = min(count, refs_until_done)
+        state.result.components.emulation_ms += state.pal.charge_run(
+            page, emulated, is_write
+        )
+
+    def _subpage_fault(
+        self,
+        state: "_RunState",
+        clock: float,
+        page: int,
+        frame: _Frame,
+        sp: int,
+        block: int,
+    ) -> float:
+        """Lazy-scheme fault on a subpage of a resident page."""
+        cfg = self.config
+        ctx = FaultContext(
+            now_ms=clock,
+            page=page,
+            faulted_subpage=sp,
+            faulted_block=block,
+            subpage_bytes=cfg.subpage_bytes,
+            page_bytes=cfg.page_bytes,
+            latency=self.latency,
+        )
+        plan = self.scheme.plan_fault(ctx)
+        if cfg.congestion:
+            state.link.demand(
+                clock + self.latency.request_fixed_ms, plan.demand_wire_ms
+            )
+        resume = plan.resume_ms
+        for index, arrival in plan.arrivals_ms.items():
+            if arrival <= resume:
+                frame.valid_bits |= 1 << index
+            else:
+                if frame.pending is None:
+                    frame.pending = PendingArrivals()
+                frame.pending.arrival_ms[index] = arrival
+        record = FaultRecord(
+            page=page,
+            subpage=sp,
+            kind=FaultKind.SUBPAGE,
+            time_ms=clock,
+            sp_latency_ms=resume - clock,
+            window_start_ms=resume,
+            window_end_ms=resume,
+            cpu_overhead_ms=plan.cpu_overhead_ms,
+        )
+        state.stalls.append((clock, resume))
+        if cfg.record_faults:
+            state.result.fault_records.append(record)
+        state.result.subpage_faults += 1
+        state.result.components.sp_latency_ms += record.sp_latency_ms
+        state.result.components.cpu_overhead_ms += record.cpu_overhead_ms
+        return resume + record.cpu_overhead_ms
+
+    def _evict(self, state: "_RunState", clock: float) -> None:
+        frames = state.frames
+
+        def transfers_done(page: int) -> bool:
+            pending = frames[page].pending
+            return pending is None or pending.latest() <= clock
+
+        victim = state.policy.evict(prefer=transfers_done)
+        frame = frames.pop(victim)
+        state.result.evictions += 1
+        if frame.pending is not None and frame.pending.latest() > clock:
+            state.result.cancelled_transfers += 1
+        if frame.dirty:
+            state.result.dirty_evictions += 1
+        if state.tlb is not None:
+            state.tlb.invalidate(victim)
+        if state.cluster is not None:
+            state.cluster.putpage(
+                self.config.cluster_node_id,
+                self._uid(victim),
+                age=clock,
+                dirty=frame.dirty,
+            )
+
+    # -- setup / teardown --------------------------------------------------
+
+    def _uid(self, page: int) -> PageUid:
+        """Cluster-wide UID for a local virtual page.
+
+        Pages at/above the shared threshold live in a common namespace so
+        several workloads name (and can reuse) the same physical copy.
+        """
+        cfg = self.config
+        if (
+            cfg.shared_from_page is not None
+            and page >= cfg.shared_from_page
+        ):
+            return PageUid(SHARED_ORIGIN, page)
+        return PageUid(cfg.cluster_node_id, page)
+
+    def _build_cluster(self, trace: RunTrace) -> Cluster:
+        cfg = self.config
+        cluster = Cluster(seed=cfg.seed)
+        footprint = trace.footprint_pages()
+        idle_total = (
+            cfg.cluster_idle_frames
+            if cfg.cluster_idle_frames is not None
+            else 2 * footprint
+        )
+        idle_nodes = cfg.cluster_nodes - 1
+        per_idle = max(1, -(-idle_total // idle_nodes))
+        cluster.add_node(cfg.memory_pages)  # the active node
+        for _ in range(idle_nodes):
+            cluster.add_node(per_idle)
+        if cfg.cluster_warm:
+            # Warm cache: every page of the workload starts in remote
+            # memory (as many as fit; the rest will be disk fills).
+            import numpy as np
+
+            vpns = np.unique(trace.pages).tolist()
+            placeable = min(len(vpns), cluster.total_free_frames()
+                            - cfg.memory_pages)
+            cluster.warm_fill(cfg.cluster_node_id, vpns[:placeable])
+        return cluster
+
+    def _finalize(self, state: "_RunState", clock: float) -> None:
+        result = state.result
+        result.components.exec_ms = result.num_references * state.event_ms
+        if state.tlb is not None:
+            result.components.tlb_miss_ms = state.tlb.stats.miss_time_ms
+            result.tlb_stats = {
+                "accesses": state.tlb.stats.accesses,
+                "misses": state.tlb.stats.misses,
+                "miss_rate": state.tlb.stats.miss_rate,
+            }
+        if state.pal is not None:
+            stats = state.pal.stats
+            result.emulation_stats = {
+                "emulated_accesses": stats.emulated_accesses,
+                "overhead_ms": stats.overhead_ms,
+                "fast_loads": stats.fast_loads,
+                "slow_loads": stats.slow_loads,
+                "fast_stores": stats.fast_stores,
+                "slow_stores": stats.slow_stores,
+            }
+        result.link_stats = {
+            "demand_transfers": state.link.demand_transfers,
+            "background_transfers": state.link.background_transfers,
+            "queueing_delay_ms": state.link.total_queueing_delay_ms,
+            "preemption_delay_ms": state.link.total_preemption_delay_ms,
+        }
+        if state.cluster is not None:
+            cstats = state.cluster.stats
+            result.cluster_stats = {
+                "getpages": cstats.getpages,
+                "remote_hits": cstats.remote_hits,
+                "local_global_hits": cstats.local_global_hits,
+                "shared_copies": cstats.shared_copies,
+                "disk_fills": cstats.disk_fills,
+                "putpages": cstats.putpages,
+                "discards": cstats.discards,
+                "disk_writebacks": cstats.disk_writebacks,
+                "messages": cstats.messages,
+                "global_hit_ratio": cstats.global_hit_ratio,
+            }
+        # Close any still-open fault windows at the end of the run.
+        for record in result.fault_records:
+            if record.window_end_ms > clock:
+                record.window_end_ms = clock
+
+
+@dataclass(slots=True)
+class _RunState:
+    """Mutable per-run plumbing shared by the simulator's helpers."""
+
+    frames: dict[int, _Frame]
+    policy: object
+    link: LinkModel
+    disk: object
+    tlb: TlbModel | None
+    pal: PalEmulator | None
+    cluster: Cluster | None
+    result: SimulationResult
+    event_ms: float
+    full_mask: int
+
+    @property
+    def stalls(self) -> list[tuple[float, float]]:
+        return self.result.stall_intervals
+
+
+def simulate(trace: RunTrace, config: SimulationConfig) -> SimulationResult:
+    """Convenience: build a :class:`Simulator` and run one trace."""
+    return Simulator(config).run(trace)

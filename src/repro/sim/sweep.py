@@ -1,0 +1,167 @@
+"""Parameter sweeps: the loops behind the paper's bar charts.
+
+Figure 3 sweeps subpage size x memory size for one application; Figure 9
+sweeps applications x schemes at fixed subpage/memory.  These helpers run
+those grids and return results keyed the way the figures are labelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate
+from repro.trace.compress import RunTrace
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Results of a sweep, keyed by (row_label, column_label)."""
+
+    rows: list[str] = field(default_factory=list)
+    columns: list[str] = field(default_factory=list)
+    results: dict[tuple[str, str], SimulationResult] = field(
+        default_factory=dict
+    )
+
+    def add(
+        self, row: str, column: str, result: SimulationResult
+    ) -> None:
+        if row not in self.rows:
+            self.rows.append(row)
+        if column not in self.columns:
+            self.columns.append(column)
+        self.results[(row, column)] = result
+
+    def get(self, row: str, column: str) -> SimulationResult:
+        try:
+            return self.results[(row, column)]
+        except KeyError:
+            raise ConfigError(
+                f"sweep has no cell ({row!r}, {column!r})"
+            ) from None
+
+    def totals_ms(self) -> dict[tuple[str, str], float]:
+        return {key: r.total_ms for key, r in self.results.items()}
+
+
+def run_subpage_sweep(
+    trace: RunTrace,
+    base: SimulationConfig,
+    subpage_sizes: list[int],
+    memory_fractions: dict[str, float],
+    include_baselines: bool = True,
+) -> SweepResult:
+    """The Figure 3 grid: rows = memory configs, columns = schemes/sizes.
+
+    Columns are, in the paper's order: ``disk_8192`` (fullpage faults from
+    disk), ``p_8192`` (fullpage from global memory), then ``sp_<size>``
+    (eager fullpage fetch) for each requested subpage size, largest first.
+    """
+    sweep = SweepResult()
+    for row_label, fraction in memory_fractions.items():
+        memory = memory_pages_for(trace, fraction)
+        if include_baselines:
+            disk_cfg = base.with_overrides(
+                memory_pages=memory,
+                backing="disk",
+                scheme="fullpage",
+                subpage_bytes=base.page_bytes,
+            )
+            sweep.add(row_label, f"disk_{base.page_bytes}",
+                      simulate(trace, disk_cfg))
+            full_cfg = base.with_overrides(
+                memory_pages=memory,
+                backing="remote",
+                scheme="fullpage",
+                subpage_bytes=base.page_bytes,
+            )
+            sweep.add(row_label, f"p_{base.page_bytes}",
+                      simulate(trace, full_cfg))
+        for size in sorted(subpage_sizes, reverse=True):
+            cfg = base.with_overrides(
+                memory_pages=memory,
+                backing=base.backing if base.backing != "disk" else "remote",
+                subpage_bytes=size,
+            )
+            label = cfg.scheme_label()
+            sweep.add(row_label, label, simulate(trace, cfg))
+    return sweep
+
+
+@dataclass(frozen=True, slots=True)
+class SeedStudy:
+    """Improvement statistics across workload-generation seeds.
+
+    Synthetic workloads are random; this records how stable a scheme's
+    improvement over the fullpage baseline is when the trace is
+    regenerated with different seeds.
+    """
+
+    improvements: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.improvements) / len(self.improvements)
+
+    @property
+    def spread(self) -> float:
+        """Max - min improvement across seeds."""
+        return max(self.improvements) - min(self.improvements)
+
+    @property
+    def stdev(self) -> float:
+        mean = self.mean
+        n = len(self.improvements)
+        if n < 2:
+            return 0.0
+        return (
+            sum((x - mean) ** 2 for x in self.improvements) / (n - 1)
+        ) ** 0.5
+
+
+def run_seed_study(
+    app: str,
+    base: SimulationConfig,
+    seeds: list[int],
+    memory_fraction: float = 0.5,
+) -> SeedStudy:
+    """Improvement-vs-fullpage for one app across trace seeds."""
+    from repro.trace.synth.apps import build_app_trace
+
+    if not seeds:
+        raise ConfigError("seed study needs at least one seed")
+    improvements = []
+    for seed in seeds:
+        trace = build_app_trace(app, seed=seed)
+        memory = memory_pages_for(trace, memory_fraction)
+        candidate = simulate(
+            trace, base.with_overrides(memory_pages=memory)
+        )
+        baseline = simulate(
+            trace,
+            base.with_overrides(
+                memory_pages=memory,
+                scheme="fullpage",
+                subpage_bytes=base.page_bytes,
+            ),
+        )
+        improvements.append(candidate.improvement_vs(baseline))
+    return SeedStudy(improvements=tuple(improvements))
+
+
+def run_memory_sweep(
+    trace: RunTrace,
+    base: SimulationConfig,
+    memory_fractions: dict[str, float],
+) -> dict[str, SimulationResult]:
+    """One configuration across several memory sizes."""
+    out = {}
+    for label, fraction in memory_fractions.items():
+        cfg = base.with_overrides(
+            memory_pages=memory_pages_for(trace, fraction)
+        )
+        out[label] = simulate(trace, cfg)
+    return out

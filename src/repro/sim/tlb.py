@@ -1,0 +1,66 @@
+"""A small TLB model for the small-pages comparison.
+
+The paper's central argument for subpages over simply shrinking the page
+size is TLB coverage: "A major disadvantage of the small page scheme,
+relative to subpages, is the reduced TLB coverage and therefore higher
+TLB miss rate" (Section 2.1).  This fully-associative LRU TLB lets the
+small-page ablation quantify that: with 8K pages, a 32-entry TLB covers
+256 KB; with 1K pages, only 32 KB.
+
+The model is driven at *run* granularity (one lookup per compressed run
+that changes page), which is exact for misses because all references
+within a run hit the same page.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(slots=True)
+class TlbStats:
+    accesses: int = 0
+    misses: int = 0
+    miss_time_ms: float = 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 0.0 if not self.accesses else self.misses / self.accesses
+
+
+class TlbModel:
+    """Fully-associative LRU TLB."""
+
+    def __init__(self, entries: int, miss_ns: float = 400.0) -> None:
+        if entries < 1:
+            raise ConfigError("TLB needs at least one entry")
+        if miss_ns < 0:
+            raise ConfigError("miss cost cannot be negative")
+        self.entries = entries
+        self.miss_ms = miss_ns * 1e-6
+        self.stats = TlbStats()
+        self._slots: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, page: int) -> bool:
+        """Look up a page; returns True on hit.  Misses refill (LRU)."""
+        self.stats.accesses += 1
+        if page in self._slots:
+            self._slots.move_to_end(page)
+            return True
+        self.stats.misses += 1
+        self.stats.miss_time_ms += self.miss_ms
+        if len(self._slots) >= self.entries:
+            self._slots.popitem(last=False)
+        self._slots[page] = None
+        return False
+
+    def invalidate(self, page: int) -> None:
+        """Drop a translation (page was evicted)."""
+        self._slots.pop(page, None)
+
+    def coverage_bytes(self, page_bytes: int) -> int:
+        """Address-space reach of a full TLB at this page size."""
+        return self.entries * page_bytes

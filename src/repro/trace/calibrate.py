@@ -1,0 +1,77 @@
+"""Event-time calibration: from cache behaviour to ns per reference.
+
+The paper's simulator uses memory accesses as clock events and calibrates
+the average event cost by running traced applications through a cache
+simulator (Section 3.2): "we calculated an average time per simulation
+event to be about 12 nanoseconds, i.e., 83,000 events correspond to one
+millisecond of execution time."
+
+:func:`average_event_ns` reproduces that pipeline using the Table 1
+memory-hierarchy timings (L1 hit 11 ns, L2 hit 30 ns, L2 miss 315 ns) plus
+a per-instruction pipeline cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.cachesim import CacheStats, TwoLevelCache
+from repro.units import DEFAULT_EVENT_NS
+
+
+@dataclass(frozen=True, slots=True)
+class HierarchyTimings:
+    """Per-level access costs in nanoseconds (paper Table 1)."""
+
+    l1_hit_ns: float = 11.0
+    l2_hit_ns: float = 30.0
+    memory_ns: float = 315.0
+    #: Non-memory pipeline work amortized per reference.  The Alpha's
+    #: dual issue hides nearly all of it behind the L1 access, which is
+    #: why the paper's calibrated 12 ns/event sits just above the 11 ns
+    #: L1 hit time.
+    pipeline_ns: float = 0.5
+
+
+PAPER_TIMINGS = HierarchyTimings()
+
+
+def event_ns_from_stats(
+    stats: CacheStats, timings: HierarchyTimings = PAPER_TIMINGS
+) -> float:
+    """Average ns per reference implied by hit/miss counts."""
+    if stats.accesses == 0:
+        return timings.pipeline_ns + timings.l1_hit_ns
+    weighted = (
+        stats.l1_hits * timings.l1_hit_ns
+        + stats.l2_hits * timings.l2_hit_ns
+        + stats.l2_misses * timings.memory_ns
+    )
+    return timings.pipeline_ns + weighted / stats.accesses
+
+
+def average_event_ns(
+    addresses: np.ndarray,
+    *,
+    timings: HierarchyTimings = PAPER_TIMINGS,
+    cache: TwoLevelCache | None = None,
+    max_samples: int = 200_000,
+) -> float:
+    """Calibrate ns/event for an address stream via cache simulation.
+
+    Long streams are strided down to ``max_samples`` simulated references;
+    the miss-rate estimate (and hence the average) is insensitive to this
+    for the workload sizes used here.
+    """
+    addresses = np.asarray(addresses)
+    cache = cache if cache is not None else TwoLevelCache()
+    stride = max(1, addresses.size // max_samples)
+    stats = cache.run(addresses, sample_stride=stride)
+    return event_ns_from_stats(stats, timings)
+
+
+def paper_event_ns() -> float:
+    """The paper's calibrated constant (12 ns per event)."""
+    return DEFAULT_EVENT_NS

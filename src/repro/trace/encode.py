@@ -1,0 +1,142 @@
+"""Trace persistence: save and load :class:`RunTrace` objects.
+
+Traces are stored as ``.npz`` archives with a small JSON metadata header.
+The format is versioned so future layouts can coexist.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.trace.compress import RunTrace
+
+FORMAT_VERSION = 1
+_REQUIRED_KEYS = ("pages", "blocks", "counts", "writes", "meta")
+_TEXT_HEADER = "# repro-trace v1"
+
+
+def save_trace(trace: RunTrace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` (``.npz``); returns the resolved path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "version": FORMAT_VERSION,
+        "page_bytes": trace.page_bytes,
+        "block_bytes": trace.block_bytes,
+        "dilation": trace.dilation,
+        "name": trace.name,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        pages=trace.pages,
+        blocks=trace.blocks,
+        counts=trace.counts,
+        writes=trace.writes,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> RunTrace:
+    """Load a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"no trace file at {path}")
+    try:
+        with np.load(path) as archive:
+            missing = [k for k in _REQUIRED_KEYS if k not in archive]
+            if missing:
+                raise TraceFormatError(
+                    f"{path} is missing arrays: {', '.join(missing)}"
+                )
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+            if meta.get("version") != FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"{path} has format version {meta.get('version')}, "
+                    f"expected {FORMAT_VERSION}"
+                )
+            return RunTrace(
+                pages=archive["pages"],
+                blocks=archive["blocks"],
+                counts=archive["counts"],
+                writes=archive["writes"],
+                page_bytes=int(meta["page_bytes"]),
+                block_bytes=int(meta["block_bytes"]),
+                dilation=float(meta["dilation"]),
+                name=str(meta["name"]),
+            )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"could not decode trace {path}: {exc}") from exc
+
+
+def save_trace_text(trace: RunTrace, path: str | Path) -> Path:
+    """Write ``trace`` as a human-readable TSV file.
+
+    Format: a header line, a JSON metadata line, then one
+    ``page<TAB>block<TAB>count<TAB>write`` row per run.  Intended for
+    interop and debugging; use :func:`save_trace` for anything large.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "page_bytes": trace.page_bytes,
+        "block_bytes": trace.block_bytes,
+        "dilation": trace.dilation,
+        "name": trace.name,
+    }
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(_TEXT_HEADER + "\n")
+        fh.write(json.dumps(meta) + "\n")
+        fh.write("page\tblock\tcount\twrite\n")
+        for page, block, count, write in zip(
+            trace.pages, trace.blocks, trace.counts, trace.writes
+        ):
+            fh.write(f"{int(page)}\t{int(block)}\t{int(count)}\t"
+                     f"{int(bool(write))}\n")
+    return path
+
+
+def load_trace_text(path: str | Path) -> RunTrace:
+    """Load a trace written by :func:`save_trace_text`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"no trace file at {path}")
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            header = fh.readline().rstrip("\n")
+            if header != _TEXT_HEADER:
+                raise TraceFormatError(
+                    f"{path}: bad header {header!r}"
+                )
+            meta = json.loads(fh.readline())
+            column_names = fh.readline().rstrip("\n").split("\t")
+            if column_names != ["page", "block", "count", "write"]:
+                raise TraceFormatError(f"{path}: bad column header")
+            rows = [line.split("\t") for line in fh if line.strip()]
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(
+            f"could not decode trace {path}: {exc}"
+        ) from exc
+    try:
+        pages = np.array([int(r[0]) for r in rows], dtype=np.int64)
+        blocks = np.array([int(r[1]) for r in rows], dtype=np.int16)
+        counts = np.array([int(r[2]) for r in rows], dtype=np.int64)
+        writes = np.array([bool(int(r[3])) for r in rows], dtype=bool)
+    except (IndexError, ValueError) as exc:
+        raise TraceFormatError(f"{path}: malformed row: {exc}") from exc
+    return RunTrace(
+        pages=pages,
+        blocks=blocks,
+        counts=counts,
+        writes=writes,
+        page_bytes=int(meta["page_bytes"]),
+        block_bytes=int(meta["block_bytes"]),
+        dilation=float(meta["dilation"]),
+        name=str(meta["name"]),
+    )

@@ -1,0 +1,103 @@
+"""Memory-reference events and address arithmetic.
+
+A trace is conceptually a sequence of :class:`MemoryRef` records.  In
+practice the library stores traces as numpy arrays (see
+:mod:`repro.trace.compress`); ``MemoryRef`` exists for tests, small
+hand-built traces, and readable APIs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import TraceError
+from repro.units import FULL_PAGE_BYTES, MIN_SUBPAGE_BYTES, is_power_of_two
+
+
+class AccessType(enum.IntEnum):
+    """Kind of memory access; encoded as one bit in compressed traces."""
+
+    READ = 0
+    WRITE = 1
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryRef:
+    """One memory reference: a virtual address plus an access type."""
+
+    address: int
+    access: AccessType = AccessType.READ
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise TraceError(f"negative address {self.address:#x}")
+
+    @property
+    def is_write(self) -> bool:
+        return self.access is AccessType.WRITE
+
+    def page(self, page_bytes: int = FULL_PAGE_BYTES) -> int:
+        return page_of(self.address, page_bytes)
+
+    def block(self, block_bytes: int = MIN_SUBPAGE_BYTES) -> int:
+        return block_of(self.address, block_bytes)
+
+
+def page_of(address: int, page_bytes: int = FULL_PAGE_BYTES) -> int:
+    """Virtual page number containing ``address``."""
+    _check_granularity(page_bytes, "page size")
+    return address // page_bytes
+
+
+def block_of(
+    address: int,
+    block_bytes: int = MIN_SUBPAGE_BYTES,
+    page_bytes: int = FULL_PAGE_BYTES,
+) -> int:
+    """Index of the block containing ``address`` *within its page*.
+
+    Blocks are the finest protection granularity (256 bytes on the
+    prototype, one valid bit each); subpage indices at any coarser
+    power-of-two size are derived from block indices by integer division.
+    """
+    _check_granularity(block_bytes, "block size")
+    _check_granularity(page_bytes, "page size")
+    if block_bytes > page_bytes:
+        raise TraceError(
+            f"block size {block_bytes} exceeds page size {page_bytes}"
+        )
+    return (address % page_bytes) // block_bytes
+
+
+def subpage_of_block(
+    block: int, subpage_bytes: int, block_bytes: int = MIN_SUBPAGE_BYTES
+) -> int:
+    """Subpage index (within its page) of block index ``block``."""
+    _check_granularity(subpage_bytes, "subpage size")
+    if subpage_bytes < block_bytes:
+        raise TraceError(
+            f"subpage size {subpage_bytes} below block granularity "
+            f"{block_bytes}"
+        )
+    return block // (subpage_bytes // block_bytes)
+
+
+def refs_from_addresses(
+    addresses: Iterable[int], writes: Iterable[bool] | None = None
+) -> Iterator[MemoryRef]:
+    """Build :class:`MemoryRef` records from parallel address/write streams."""
+    if writes is None:
+        for address in addresses:
+            yield MemoryRef(int(address))
+        return
+    for address, write in zip(addresses, writes, strict=True):
+        yield MemoryRef(
+            int(address), AccessType.WRITE if write else AccessType.READ
+        )
+
+
+def _check_granularity(size: int, what: str) -> None:
+    if not is_power_of_two(size):
+        raise TraceError(f"{what} must be a positive power of two, got {size}")

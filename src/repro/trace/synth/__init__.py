@@ -1,0 +1,58 @@
+"""Synthetic workload generation.
+
+The paper traces five real applications with Atom (Section 4).  Neither the
+traces nor the 1996 binaries are available, so this package synthesizes
+reference streams whose *behavioural* statistics — spatial locality within
+pages, temporal clustering of faults, footprint, and exec-time : fault-time
+ratio — are calibrated to what the paper reports for each application.
+See DESIGN.md section 2 for the substitution argument.
+"""
+
+from repro.trace.synth.apps import (
+    APP_MODELS,
+    AppModel,
+    SyntheticTrace,
+    app_names,
+    build_app_trace,
+    get_app_model,
+)
+from repro.trace.synth.patterns import (
+    AccessPattern,
+    HotCold,
+    PointerChase,
+    RandomUniform,
+    Sequential,
+    Strided,
+    ZipfPages,
+)
+from repro.trace.synth.phases import Phase, PhaseComponent, Workload
+from repro.trace.synth.regions import Region, RegionAllocator
+from repro.trace.synth.stackdist import (
+    StackDistanceSpec,
+    generate_stack_distance_trace,
+    measure_stack_distances,
+)
+
+__all__ = [
+    "APP_MODELS",
+    "AccessPattern",
+    "AppModel",
+    "HotCold",
+    "Phase",
+    "PhaseComponent",
+    "PointerChase",
+    "RandomUniform",
+    "Region",
+    "RegionAllocator",
+    "Sequential",
+    "StackDistanceSpec",
+    "Strided",
+    "SyntheticTrace",
+    "Workload",
+    "ZipfPages",
+    "app_names",
+    "build_app_trace",
+    "generate_stack_distance_trace",
+    "measure_stack_distances",
+    "get_app_model",
+]

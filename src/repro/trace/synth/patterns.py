@@ -1,0 +1,296 @@
+"""Vectorized access-pattern generators.
+
+Each pattern produces an array of virtual addresses inside a region.  All
+generation is numpy-vectorized so multi-million-reference traces build in
+well under a second.
+
+The patterns are the vocabulary the application models (``apps.py``) are
+written in:
+
+* :class:`Sequential` — a linear scan; gives the strong ``+1`` next-subpage
+  locality the paper measures (Figure 7).
+* :class:`Strided` — regular strides, e.g. column-major matrix walks.
+* :class:`RandomUniform` — no locality at all.
+* :class:`ZipfPages` — skewed page popularity with short sequential bursts
+  inside each touched page; models heap/symbol-table access.
+* :class:`HotCold` — a small hot set absorbing most references.
+* :class:`PointerChase` — a pseudo-random permutation walk; models linked
+  data structures (worst-case spatial locality, deterministic coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.trace.synth.regions import Region
+
+#: Default access width; the Alpha is a 64-bit machine.
+WORD_BYTES = 8
+
+
+@runtime_checkable
+class AccessPattern(Protocol):
+    """Anything that can generate addresses within a region."""
+
+    def generate(
+        self, region: Region, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return ``n`` int64 addresses inside ``region``."""
+        ...
+
+
+def _check_n(n: int) -> None:
+    if n < 0:
+        raise ConfigError(f"cannot generate {n} references")
+
+
+@dataclass(frozen=True, slots=True)
+class Sequential:
+    """Linear scan through the region with a fixed stride, wrapping.
+
+    ``start_fraction`` places the scan's starting offset, so successive
+    phases can resume where a previous scan left off.
+    """
+
+    stride: int = WORD_BYTES
+    start_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0:
+            raise ConfigError("stride must be positive")
+        if not 0.0 <= self.start_fraction < 1.0:
+            raise ConfigError("start_fraction must be in [0, 1)")
+
+    def generate(
+        self, region: Region, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        _check_n(n)
+        slots = max(1, region.size // self.stride)
+        start = int(self.start_fraction * slots)
+        idx = (start + np.arange(n, dtype=np.int64)) % slots
+        return region.base + idx * self.stride
+
+
+@dataclass(frozen=True, slots=True)
+class Strided:
+    """Strided walk (e.g. across rows); wraps with a one-word phase shift.
+
+    A stride larger than the subpage size defeats subpage prefetch; larger
+    than the page size, it defeats pages entirely.
+    """
+
+    stride: int
+    element_bytes: int = WORD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0 or self.element_bytes <= 0:
+            raise ConfigError("stride and element_bytes must be positive")
+
+    def generate(
+        self, region: Region, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        _check_n(n)
+        offsets = (
+            np.arange(n, dtype=np.int64) * self.stride
+            + (np.arange(n, dtype=np.int64) * self.stride // region.size)
+            * self.element_bytes
+        ) % region.size
+        return region.base + offsets
+
+
+@dataclass(frozen=True, slots=True)
+class RandomUniform:
+    """Uniformly random visits, each touching a short run of words.
+
+    ``run_words`` consecutive words are read per visit, modelling the
+    struct- or cache-line-level locality real code has even when its page
+    access pattern is random.
+    """
+
+    align: int = WORD_BYTES
+    run_words: int = 8
+
+    def __post_init__(self) -> None:
+        if self.align <= 0:
+            raise ConfigError("align must be positive")
+        if self.run_words <= 0:
+            raise ConfigError("run_words must be positive")
+
+    def generate(
+        self, region: Region, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        _check_n(n)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        slots = max(1, region.size // self.align)
+        visits = -(-n // self.run_words)
+        idx = rng.integers(0, slots, size=visits, dtype=np.int64)
+        return _expand_runs(
+            region.base + idx * self.align, self.run_words, n, region
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ZipfPages:
+    """Zipf-skewed page popularity with short sequential runs per visit.
+
+    Page ``k`` (0-based rank) is visited with probability proportional to
+    ``1 / (k + 1) ** alpha``; each visit touches ``run_words`` consecutive
+    words starting at a random word of the page.  ``shuffle_ranks`` decouples
+    popularity rank from address order, which is the realistic case.
+    """
+
+    alpha: float = 0.9
+    run_words: int = 16
+    page_bytes: int = 8192
+    shuffle_ranks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ConfigError("alpha must be >= 0")
+        if self.run_words <= 0:
+            raise ConfigError("run_words must be positive")
+        if self.page_bytes <= 0:
+            raise ConfigError("page_bytes must be positive")
+
+    def generate(
+        self, region: Region, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        _check_n(n)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        pages = max(1, region.size // self.page_bytes)
+        weights = 1.0 / np.power(np.arange(1, pages + 1, dtype=np.float64),
+                                 self.alpha)
+        weights /= weights.sum()
+        visits = -(-n // self.run_words)
+        ranks = rng.choice(pages, size=visits, p=weights)
+        if self.shuffle_ranks:
+            perm = rng.permutation(pages)
+            ranks = perm[ranks]
+        words_per_page = max(1, self.page_bytes // WORD_BYTES)
+        start_words = rng.integers(0, words_per_page, size=visits)
+        # Expand each visit into a sequential run of run_words words.
+        base_addr = (
+            region.base
+            + ranks.astype(np.int64) * self.page_bytes
+            + start_words.astype(np.int64) * WORD_BYTES
+        )
+        run = np.arange(self.run_words, dtype=np.int64) * WORD_BYTES
+        addrs = (base_addr[:, None] + run[None, :]).reshape(-1)[:n]
+        # Keep runs from spilling past the region end.
+        np.minimum(addrs, region.end - WORD_BYTES, out=addrs)
+        return addrs
+
+
+@dataclass(frozen=True, slots=True)
+class HotCold:
+    """A hot subset of the region absorbs most references.
+
+    ``hot_fraction`` of the region (at its start) receives ``hot_prob`` of
+    the references via uniform access; the cold remainder receives the rest.
+    """
+
+    hot_fraction: float = 0.1
+    hot_prob: float = 0.9
+    align: int = WORD_BYTES
+    run_words: int = 12
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ConfigError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= self.hot_prob <= 1.0:
+            raise ConfigError("hot_prob must be in [0, 1]")
+        if self.align <= 0:
+            raise ConfigError("align must be positive")
+        if self.run_words <= 0:
+            raise ConfigError("run_words must be positive")
+
+    def generate(
+        self, region: Region, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        _check_n(n)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        hot_bytes = max(self.align, int(region.size * self.hot_fraction))
+        hot_slots = max(1, hot_bytes // self.align)
+        cold_slots = max(1, (region.size - hot_bytes) // self.align)
+        visits = -(-n // self.run_words)
+        is_hot = rng.random(visits) < self.hot_prob
+        idx = np.where(
+            is_hot,
+            rng.integers(0, hot_slots, size=visits, dtype=np.int64),
+            hot_slots
+            + rng.integers(0, cold_slots, size=visits, dtype=np.int64),
+        )
+        return _expand_runs(
+            region.base + idx * self.align, self.run_words, n, region
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PointerChase:
+    """Walk a pseudo-random permutation of fixed-size nodes.
+
+    Models traversing a linked structure whose nodes were allocated in a
+    shuffled order: consecutive accesses land on unrelated pages, the
+    worst case for any prefetching scheme.  The permutation is an affine
+    map ``(a * i + b) mod num_nodes`` with ``a`` coprime to ``num_nodes``,
+    which visits every node exactly once per cycle without materializing a
+    permutation table.
+    """
+
+    node_bytes: int = 64
+    touches_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        if self.node_bytes < WORD_BYTES:
+            raise ConfigError("node_bytes must be at least one word")
+        if self.touches_per_node <= 0:
+            raise ConfigError("touches_per_node must be positive")
+
+    def generate(
+        self, region: Region, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        _check_n(n)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        num_nodes = max(1, region.size // self.node_bytes)
+        a = _random_coprime(num_nodes, rng)
+        b = int(rng.integers(0, num_nodes))
+        visits = -(-n // self.touches_per_node)
+        i = np.arange(visits, dtype=np.int64)
+        nodes = (a * i + b) % num_nodes
+        touch = np.arange(self.touches_per_node, dtype=np.int64) * WORD_BYTES
+        addrs = (
+            region.base
+            + nodes[:, None] * self.node_bytes
+            + touch[None, :]
+        ).reshape(-1)[:n]
+        return addrs
+
+
+def _expand_runs(
+    base_addrs: np.ndarray, run_words: int, n: int, region: Region
+) -> np.ndarray:
+    """Expand per-visit base addresses into runs of consecutive words."""
+    run = np.arange(run_words, dtype=np.int64) * WORD_BYTES
+    addrs = (base_addrs[:, None] + run[None, :]).reshape(-1)[:n]
+    np.minimum(addrs, region.end - WORD_BYTES, out=addrs)
+    return addrs
+
+
+def _random_coprime(modulus: int, rng: np.random.Generator) -> int:
+    """A multiplier coprime to ``modulus`` (1 when modulus is 1)."""
+    if modulus <= 1:
+        return 1
+    for _ in range(64):
+        candidate = int(rng.integers(1, modulus))
+        if np.gcd(candidate, modulus) == 1:
+            return candidate
+    # Fall back to 1, which is always coprime.
+    return 1

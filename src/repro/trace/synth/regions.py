@@ -1,0 +1,91 @@
+"""Address-space regions for synthetic workloads.
+
+A :class:`Region` is a contiguous chunk of virtual address space (a mapped
+file, a heap arena, an object-file image...).  The :class:`RegionAllocator`
+lays regions out page-aligned with guard gaps so that distinct regions never
+share a page — phase changes between regions then produce the fault bursts
+the paper attributes to program phase changes (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import FULL_PAGE_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A named, contiguous range of virtual address space."""
+
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ConfigError(f"region {self.name!r}: negative base")
+        if self.size <= 0:
+            raise ConfigError(f"region {self.name!r}: size must be positive")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def pages(self, page_bytes: int = FULL_PAGE_BYTES) -> int:
+        """Number of pages the region spans (assuming aligned base)."""
+        return -(-self.size // page_bytes)
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+class RegionAllocator:
+    """Sequentially allocates page-aligned, non-overlapping regions."""
+
+    def __init__(
+        self,
+        *,
+        page_bytes: int = FULL_PAGE_BYTES,
+        base: int = 0x0001_0000_0000,
+        guard_pages: int = 4,
+    ) -> None:
+        if guard_pages < 1:
+            raise ConfigError("guard_pages must be >= 1")
+        self._page_bytes = page_bytes
+        self._next = _align_up(base, page_bytes)
+        self._guard = guard_pages * page_bytes
+        self._regions: list[Region] = []
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        return tuple(self._regions)
+
+    def allocate(self, name: str, size: int) -> Region:
+        """Allocate a new region of ``size`` bytes (rounded up to a page)."""
+        if size <= 0:
+            raise ConfigError(f"region {name!r}: size must be positive")
+        size = _align_up(size, self._page_bytes)
+        region = Region(name=name, base=self._next, size=size)
+        self._next = region.end + self._guard
+        self._regions.append(region)
+        return region
+
+    def allocate_pages(self, name: str, pages: int) -> Region:
+        """Allocate a region spanning exactly ``pages`` pages."""
+        if pages <= 0:
+            raise ConfigError(f"region {name!r}: pages must be positive")
+        return self.allocate(name, pages * self._page_bytes)
+
+    def total_pages(self) -> int:
+        """Total pages across all allocated regions (excluding guards)."""
+        return sum(r.pages(self._page_bytes) for r in self._regions)
+
+
+def _align_up(value: int, align: int) -> int:
+    return -(-value // align) * align

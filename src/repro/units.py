@@ -1,0 +1,113 @@
+"""Unit conventions and conversions used across the library.
+
+The paper's simulator counts *memory accesses* as clock events: one event is
+one memory reference, and the calibrated cost of an event on the DEC Alpha
+250 platform is about 12 ns, i.e. 83,333 events correspond to one
+millisecond of execution (paper, Section 3.2).
+
+Internally the library stores all durations as ``float`` **milliseconds**
+and all sizes as ``int`` **bytes**.  The helpers here exist so that call
+sites can say what they mean (``us(68)``, ``KB(8)``) instead of sprinkling
+conversion factors.
+"""
+
+from __future__ import annotations
+
+#: Default calibrated cost of one memory-reference event, in nanoseconds
+#: (paper Section 3.2: "about 12 nanoseconds").
+DEFAULT_EVENT_NS: float = 12.0
+
+#: Events per millisecond at the default event cost (paper: "83,000 events
+#: correspond to one millisecond"; the exact value for 12 ns is 83,333.3).
+DEFAULT_EVENTS_PER_MS: float = 1e6 / DEFAULT_EVENT_NS
+
+#: The Alpha page size used throughout the paper, in bytes.
+FULL_PAGE_BYTES: int = 8192
+
+#: Subpage sizes evaluated in the paper (Table 2), in bytes.
+PAPER_SUBPAGE_SIZES: tuple[int, ...] = (256, 512, 1024, 2048, 4096)
+
+#: Finest protection granularity of the prototype: 32 valid bits per 8K
+#: page, one per 256-byte block (paper Section 3.1).
+MIN_SUBPAGE_BYTES: int = 256
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return value * 1e-6
+
+
+def us(value: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return value * 1e-3
+
+
+def ms(value: float) -> float:
+    """Identity helper for call-site symmetry with :func:`ns`/:func:`us`."""
+    return float(value)
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to milliseconds."""
+    return value * 1e3
+
+
+def to_us(millis: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return millis * 1e3
+
+
+def to_seconds(millis: float) -> float:
+    """Convert milliseconds to seconds."""
+    return millis * 1e-3
+
+
+def KB(value: float) -> int:
+    """Convert kibibytes to bytes."""
+    return int(value * 1024)
+
+
+def MB(value: float) -> int:
+    """Convert mebibytes to bytes."""
+    return int(value * 1024 * 1024)
+
+
+def mbit_per_s_to_bytes_per_ms(mbits: float) -> float:
+    """Convert a link rate in megabits/second to bytes/millisecond.
+
+    Network link rates (e.g. the AN2's 155 Mb/s) are quoted in decimal
+    megabits per second.
+    """
+    return mbits * 1e6 / 8.0 / 1e3
+
+
+def wire_time_ms(size_bytes: int, mbits_per_s: float) -> float:
+    """Time to clock ``size_bytes`` onto a link of ``mbits_per_s``."""
+    if mbits_per_s <= 0:
+        raise ValueError(f"link rate must be positive, got {mbits_per_s}")
+    return size_bytes / mbit_per_s_to_bytes_per_ms(mbits_per_s)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def events_to_ms(events: float, event_ns: float = DEFAULT_EVENT_NS) -> float:
+    """Convert a count of memory-access events to milliseconds."""
+    return events * event_ns * 1e-6
+
+
+def ms_to_events(millis: float, event_ns: float = DEFAULT_EVENT_NS) -> float:
+    """Convert milliseconds to the equivalent number of clock events."""
+    return millis * 1e6 / event_ns
+
+
+def cycles_to_ms(cycles: float, clock_mhz: float = 266.0) -> float:
+    """Convert CPU cycles at ``clock_mhz`` to milliseconds.
+
+    The prototype CPU is a 266-MHz DEC Alpha 250 (paper Section 3).
+    """
+    if clock_mhz <= 0:
+        raise ValueError(f"clock rate must be positive, got {clock_mhz}")
+    return cycles / (clock_mhz * 1e6) * 1e3

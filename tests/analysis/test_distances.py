@@ -1,0 +1,72 @@
+"""Next-subpage distance distributions (Figure 7 machinery)."""
+
+import pytest
+
+from repro.analysis.distances import (
+    DistanceDistribution,
+    distance_distribution,
+)
+from repro.errors import ConfigError
+from repro.sim.results import SimulationResult
+
+
+def dist(counts) -> DistanceDistribution:
+    return DistanceDistribution(label="x", counts=counts)
+
+
+class TestDistribution:
+    def test_probabilities(self):
+        d = dist({1: 6, -1: 3, 2: 1})
+        assert d.total == 10
+        assert d.probability(1) == pytest.approx(0.6)
+        assert d.probability(5) == 0.0
+        assert sum(d.probabilities().values()) == pytest.approx(1.0)
+
+    def test_top(self):
+        d = dist({1: 6, -1: 3, 2: 1})
+        assert d.top(2) == [(1, 0.6), (-1, 0.3)]
+
+    def test_top_validation(self):
+        with pytest.raises(ConfigError):
+            dist({1: 1}).top(0)
+
+    def test_mass_within(self):
+        d = dist({1: 5, -1: 2, 2: 2, 3: 1})
+        assert d.mass_within(1) == pytest.approx(0.7)
+        assert d.mass_within(2) == pytest.approx(0.9)
+
+    def test_mass_validation(self):
+        with pytest.raises(ConfigError):
+            dist({1: 1}).mass_within(0)
+
+    def test_empty(self):
+        d = dist({})
+        assert d.total == 0
+        assert d.probability(1) == 0.0
+        assert d.probabilities() == {}
+
+    def test_sequencer_profile_excludes_zero(self):
+        d = dist({0: 5, 1: 5})
+        profile = d.as_sequencer_profile()
+        assert 0 not in profile
+        assert profile[1] == pytest.approx(0.5)
+
+    def test_profile_feeds_distance_sequencer(self):
+        from repro.core.sequencers import DistanceSequencer
+
+        d = dist({1: 8, -1: 2})
+        order = DistanceSequencer(d.as_sequencer_profile()).order(3, 8)
+        assert order[0] == 4
+
+
+class TestExtraction:
+    def test_from_result(self):
+        res = SimulationResult(
+            trace_name="t", scheme_label="sp_1024", scheme_name="eager",
+            subpage_bytes=1024, page_bytes=8192, memory_pages=4,
+            backing="remote", num_references=10, num_runs=5,
+            event_cost_ms=1e-3, distance_histogram={1: 3, -2: 1},
+        )
+        d = distance_distribution(res)
+        assert d.counts == {1: 3, -2: 1}
+        assert "1024" in d.label

@@ -1,0 +1,114 @@
+"""I/O vs computational overlap attribution."""
+
+import pytest
+
+from repro.analysis.overlap import (
+    OverlapAttribution,
+    _interval_overlap_ms,
+    attribute_overlap,
+)
+from repro.core.fault import FaultKind, FaultRecord
+from repro.sim.results import SimulationResult
+
+import numpy as np
+
+
+def make_result(records, stalls) -> SimulationResult:
+    return SimulationResult(
+        trace_name="t", scheme_label="sp_1024", scheme_name="eager",
+        subpage_bytes=1024, page_bytes=8192, memory_pages=4,
+        backing="remote", num_references=10, num_runs=5,
+        event_cost_ms=1e-3, fault_records=records,
+        stall_intervals=stalls,
+    )
+
+
+def remote(time, sp, window):
+    rec = FaultRecord(page=0, subpage=0, kind=FaultKind.REMOTE,
+                      time_ms=time, sp_latency_ms=sp,
+                      window_start_ms=window[0], window_end_ms=window[1])
+    return rec
+
+
+class TestIntervalOverlap:
+    def setup_method(self):
+        self.starts = np.array([0.0, 2.0, 5.0])
+        self.ends = np.array([1.0, 3.0, 7.0])
+        self.cum = np.concatenate([[0.0],
+                                   np.cumsum(self.ends - self.starts)])
+
+    def overlap(self, lo, hi):
+        return _interval_overlap_ms(self.starts, self.ends, self.cum,
+                                    lo, hi)
+
+    def test_full_containment(self):
+        assert self.overlap(-1.0, 10.0) == pytest.approx(4.0)
+
+    def test_partial_clip(self):
+        assert self.overlap(0.5, 2.5) == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        assert self.overlap(3.5, 4.5) == 0.0
+
+    def test_inside_one_interval(self):
+        assert self.overlap(5.5, 6.0) == pytest.approx(0.5)
+
+    def test_degenerate_window(self):
+        assert self.overlap(2.0, 2.0) == 0.0
+
+
+class TestAttribution:
+    def test_pure_computation_overlap(self):
+        # One fault; nothing stalls during its window -> all comp.
+        rec = remote(0.0, 0.5, (0.5, 1.5))
+        res = make_result([rec], [(0.0, 0.5)])
+        att = attribute_overlap(res)
+        assert att.comp_overlap_ms == pytest.approx(1.0)
+        assert att.io_overlap_ms == 0.0
+        assert att.io_share == 0.0
+
+    def test_pure_io_overlap(self):
+        # A second fault's stall fully covers the first one's window.
+        rec1 = remote(0.0, 0.5, (0.5, 1.5))
+        stalls = [(0.0, 0.5), (0.5, 1.5)]  # second stall: another fault
+        res = make_result([rec1], stalls)
+        att = attribute_overlap(res)
+        assert att.io_overlap_ms == pytest.approx(1.0)
+        assert att.io_share == pytest.approx(1.0)
+
+    def test_own_wait_not_counted_as_io(self):
+        rec = remote(0.0, 0.5, (0.5, 1.5))
+        rec.add_page_wait(1.0, 1.5)
+        stalls = [(0.0, 0.5), (1.0, 1.5)]  # the page_wait is a stall too
+        res = make_result([rec], stalls)
+        att = attribute_overlap(res)
+        assert att.own_wait_ms == pytest.approx(0.5)
+        assert att.io_overlap_ms == 0.0
+        assert att.comp_overlap_ms == pytest.approx(0.5)
+        assert att.hidden_ms == pytest.approx(0.5)
+
+    def test_disk_faults_ignored(self):
+        rec = FaultRecord(page=0, subpage=0, kind=FaultKind.DISK,
+                          time_ms=0.0, sp_latency_ms=8.0,
+                          window_start_ms=8.0, window_end_ms=8.0)
+        att = attribute_overlap(make_result([rec], [(0.0, 8.0)]))
+        assert att.num_windows == 0
+
+    def test_total_window_decomposition(self):
+        rec = remote(0.0, 0.5, (0.5, 1.5))
+        rec.add_page_wait(1.2, 1.5)
+        stalls = [(0.0, 0.5), (0.6, 0.8), (1.2, 1.5)]
+        att = attribute_overlap(make_result([rec], stalls))
+        assert att.total_window_ms == pytest.approx(1.0)
+        assert att.io_overlap_ms == pytest.approx(0.2)
+        assert att.own_wait_ms == pytest.approx(0.3)
+        assert att.comp_overlap_ms == pytest.approx(0.5)
+
+    def test_io_share_bounds_on_real_run(self):
+        from repro.experiments import common
+
+        res = common.run_cached("modula3", 0.5, scheme="eager",
+                                subpage_bytes=1024)
+        att = attribute_overlap(res)
+        assert 0.0 <= att.io_share <= 1.0
+        assert att.num_windows > 0

@@ -1,0 +1,108 @@
+"""Plain-text reporting helpers."""
+
+import pytest
+
+from repro.analysis.report import ascii_bar_chart, format_table, percent
+from repro.errors import ConfigError
+
+
+class TestPercent:
+    def test_basic(self):
+        assert percent(0.254) == "25.4%"
+
+    def test_digits(self):
+        assert percent(0.5, 0) == "50%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "ms"], [("a", 1.5), ("bb", 20.25)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.50" in out and "20.25" in out
+        # Numeric column right-aligned: 1.50 ends at same col as 20.25.
+        assert lines[2].rstrip().endswith("1.50")
+        assert lines[3].rstrip().endswith("20.25")
+
+    def test_title(self):
+        out = format_table(["a"], [(1,)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_digits(self):
+        out = format_table(["a"], [(1.23456,)], float_digits=3)
+        assert "1.235" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_rejects_no_headers(self):
+        with pytest.raises(ConfigError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestAsciiBarChart:
+    def test_bars_proportional(self):
+        out = ascii_bar_chart(["x", "y"], [10.0, 5.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_value_no_bar(self):
+        out = ascii_bar_chart(["x", "y"], [10.0, 0.0], width=10)
+        assert out.splitlines()[1].count("#") == 0
+
+    def test_small_nonzero_gets_a_mark(self):
+        out = ascii_bar_chart(["x", "y"], [1000.0, 1.0], width=10)
+        assert out.splitlines()[1].count("#") == 1
+
+    def test_unit_suffix(self):
+        out = ascii_bar_chart(["x"], [3.0], unit=" ms")
+        assert "3.0 ms" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigError):
+            ascii_bar_chart(["x"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert ascii_bar_chart([], [], title="t") == "t"
+
+
+class TestSpeedupSummary:
+    def test_improvement_summary(self):
+        from repro.analysis.speedup import ImprovementSummary
+
+        s = ImprovementSummary(
+            label="x", baseline_ms=100.0, candidate_ms=75.0,
+            baseline_page_wait_ms=40.0, candidate_page_wait_ms=10.0,
+        )
+        assert s.improvement == pytest.approx(0.25)
+        assert s.speedup == pytest.approx(4 / 3)
+        assert s.page_wait_reduction == pytest.approx(0.75)
+
+    def test_zero_baselines(self):
+        from repro.analysis.speedup import ImprovementSummary
+
+        s = ImprovementSummary("x", 0.0, 1.0, 0.0, 1.0)
+        assert s.improvement == 0.0
+        assert s.page_wait_reduction == 0.0
+
+    def test_summary_rejects_cross_trace(self):
+        from repro.analysis.speedup import improvement_summary
+        from repro.errors import ConfigError
+        from repro.sim.results import SimulationResult
+
+        def res(name):
+            return SimulationResult(
+                trace_name=name, scheme_label="x", scheme_name="eager",
+                subpage_bytes=1024, page_bytes=8192, memory_pages=4,
+                backing="remote", num_references=1, num_runs=1,
+                event_cost_ms=1e-3,
+            )
+
+        with pytest.raises(ConfigError):
+            improvement_summary(res("a"), res("b"))

@@ -1,0 +1,73 @@
+"""Shared fixtures: tiny deterministic traces and a fixed latency model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.trace.compress import RunTrace, compress_references
+
+
+class FixedLatencyModel:
+    """A latency model with easy-to-reason-about constants.
+
+    Subpage latency is 0.5 ms for any subpage size below the page size;
+    rest-of-page arrives at 1.5 ms; a fullpage fault costs 2.0 ms.  Wire
+    time is proportional to size with the full page taking 1.0 ms.
+    """
+
+    def __init__(self, page_bytes: int = 8192) -> None:
+        self.page_bytes = page_bytes
+        self.request_fixed_ms = 0.25
+        self.receive_cpu_ms = 0.25
+
+    def subpage_latency_ms(self, subpage_bytes: int) -> float:
+        if subpage_bytes >= self.page_bytes:
+            return 2.0
+        return 0.5
+
+    def rest_of_page_ms(self, subpage_bytes: int) -> float:
+        if subpage_bytes >= self.page_bytes:
+            return 2.0
+        return 1.5
+
+    def fullpage_latency_ms(self) -> float:
+        return 2.0
+
+    def wire_time_ms(self, size_bytes: int) -> float:
+        return size_bytes / self.page_bytes
+
+
+@pytest.fixture()
+def fixed_latency() -> FixedLatencyModel:
+    return FixedLatencyModel()
+
+
+def make_trace(
+    addresses: list[int], writes: list[bool] | None = None, **kwargs
+) -> RunTrace:
+    """Build a RunTrace from explicit addresses."""
+    w = np.array(writes, dtype=bool) if writes is not None else None
+    return compress_references(np.array(addresses, dtype=np.int64), w,
+                               **kwargs)
+
+
+def page_addr(page: int, offset: int = 0, page_bytes: int = 8192) -> int:
+    """Address of byte ``offset`` within ``page``."""
+    return page * page_bytes + offset
+
+
+@pytest.fixture()
+def base_config(fixed_latency: FixedLatencyModel) -> SimulationConfig:
+    """An eager-fetch config with the fixed latency model and a 1 us
+    event cost (so reference counts convert trivially to time)."""
+    return SimulationConfig(
+        memory_pages=8,
+        scheme="eager",
+        subpage_bytes=1024,
+        latency_model=fixed_latency,
+        event_ns=1000.0,  # 1 us per reference
+        congestion=False,
+        use_trace_dilation=False,
+    )

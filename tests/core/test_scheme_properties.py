@@ -1,0 +1,108 @@
+"""Property-based invariants every fetch scheme's plans must satisfy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plans import FaultContext
+from repro.core.schemes import make_scheme
+
+from tests.conftest import FixedLatencyModel
+
+
+@st.composite
+def fault_contexts(draw):
+    subpage_bytes = draw(st.sampled_from([256, 512, 1024, 2048, 4096,
+                                          8192]))
+    spp = 8192 // subpage_bytes
+    subpage = draw(st.integers(min_value=0, max_value=spp - 1))
+    blocks_per_sub = subpage_bytes // 256
+    block = subpage * blocks_per_sub + draw(
+        st.integers(min_value=0, max_value=blocks_per_sub - 1)
+    )
+    now = draw(st.floats(min_value=0.0, max_value=1e4,
+                         allow_nan=False, allow_infinity=False))
+    return FaultContext(
+        now_ms=now,
+        page=draw(st.integers(min_value=0, max_value=1 << 20)),
+        faulted_subpage=subpage,
+        faulted_block=block,
+        subpage_bytes=subpage_bytes,
+        page_bytes=8192,
+        latency=FixedLatencyModel(),
+    )
+
+
+@st.composite
+def schemes(draw):
+    name = draw(st.sampled_from(["fullpage", "lazy", "eager",
+                                 "pipelined"]))
+    kwargs = {}
+    if name == "pipelined":
+        kwargs = {
+            "sequencer": draw(st.sampled_from(["neighbor", "ascending"])),
+            "pipeline_count": draw(st.integers(min_value=0, max_value=31)),
+            "segment_subpages": draw(st.integers(min_value=1,
+                                                 max_value=4)),
+            "interrupt_ms": draw(st.sampled_from([0.0, 0.068, 0.091])),
+            "double_initial": draw(st.booleans()),
+        }
+    return make_scheme(name, **kwargs)
+
+
+class TestPlanInvariants:
+    @given(ctx=fault_contexts(), scheme=schemes())
+    @settings(max_examples=200)
+    def test_plan_is_consistent(self, ctx, scheme):
+        plan = scheme.plan_fault(ctx)
+        # The program resumes after the fault occurred.
+        assert plan.resume_ms > ctx.now_ms
+        # The faulted subpage is delivered exactly at resume.
+        assert plan.arrivals_ms[ctx.faulted_subpage] == pytest.approx(
+            plan.resume_ms
+        )
+        # Nothing arrives before resume or in the past.
+        for index, arrival in plan.arrivals_ms.items():
+            assert ctx.subpage_exists(index)
+            assert arrival >= plan.resume_ms - 1e-9
+            assert arrival > ctx.now_ms
+        # Wire occupancy and overheads are sane.
+        assert plan.demand_wire_ms >= 0
+        assert plan.background_wire_ms >= 0
+        assert plan.cpu_overhead_ms >= 0
+        if plan.has_background:
+            assert plan.background_ready_ms >= ctx.now_ms
+
+    @given(ctx=fault_contexts())
+    @settings(max_examples=100)
+    def test_eager_and_pipelined_cover_the_page(self, ctx):
+        for name in ("eager", "pipelined", "fullpage"):
+            plan = make_scheme(name).plan_fault(ctx)
+            assert plan.covered_subpages == set(
+                range(ctx.subpages_per_page)
+            )
+
+    @given(ctx=fault_contexts())
+    @settings(max_examples=100)
+    def test_lazy_covers_only_the_faulted_subpage(self, ctx):
+        plan = make_scheme("lazy").plan_fault(ctx)
+        assert plan.covered_subpages == {ctx.faulted_subpage}
+
+    @given(ctx=fault_contexts(), scheme=schemes())
+    @settings(max_examples=100)
+    def test_total_wire_bounded_by_page(self, ctx, scheme):
+        plan = scheme.plan_fault(ctx)
+        page_wire = ctx.latency.wire_time_ms(ctx.page_bytes)
+        total = plan.demand_wire_ms + plan.background_wire_ms
+        assert total <= page_wire + 1e-9
+
+    @given(ctx=fault_contexts())
+    @settings(max_examples=100)
+    def test_resume_never_later_than_fullpage(self, ctx):
+        # Subpage schemes must never make the *initial* wait worse than
+        # simply fetching the whole page.
+        fullpage = make_scheme("fullpage").plan_fault(ctx).resume_ms
+        for name in ("eager", "pipelined", "lazy"):
+            assert make_scheme(name).plan_fault(ctx).resume_ms <= (
+                fullpage + 1e-9
+            )

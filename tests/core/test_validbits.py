@@ -1,0 +1,105 @@
+"""Subpage valid-bit bitmaps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.validbits import SubpageBitmap
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_for_sizes(self):
+        bm = SubpageBitmap.for_sizes(8192, 1024)
+        assert bm.num_subpages == 8
+        assert not bm.any_valid
+
+    def test_prototype_geometry(self):
+        # 32 valid bits per 8K page, one per 256-byte block (Section 3.1).
+        assert SubpageBitmap.for_sizes(8192, 256).num_subpages == 32
+
+    def test_single_subpage(self):
+        bm = SubpageBitmap.for_sizes(8192, 8192)
+        assert bm.num_subpages == 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            SubpageBitmap.for_sizes(8192, 3000)
+        with pytest.raises(ConfigError):
+            SubpageBitmap.for_sizes(4096, 8192)
+
+    def test_rejects_out_of_range_bits(self):
+        with pytest.raises(ConfigError):
+            SubpageBitmap(num_subpages=2, bits=8)
+
+
+class TestOperations:
+    def test_mark_and_test(self):
+        bm = SubpageBitmap(8)
+        bm.mark_valid(3)
+        assert bm.is_valid(3)
+        assert not bm.is_valid(2)
+
+    def test_mark_invalid(self):
+        bm = SubpageBitmap(8)
+        bm.mark_valid(3)
+        bm.mark_invalid(3)
+        assert not bm.is_valid(3)
+
+    def test_mark_all(self):
+        bm = SubpageBitmap(8)
+        bm.mark_all_valid()
+        assert bm.all_valid
+        assert bm.valid_count == 8
+
+    def test_clear(self):
+        bm = SubpageBitmap(8)
+        bm.mark_all_valid()
+        bm.clear()
+        assert not bm.any_valid
+
+    def test_indices(self):
+        bm = SubpageBitmap(4)
+        bm.mark_valid(1)
+        bm.mark_valid(3)
+        assert bm.valid_indices() == [1, 3]
+        assert bm.invalid_indices() == [0, 2]
+
+    def test_bounds_checked(self):
+        bm = SubpageBitmap(4)
+        with pytest.raises(ConfigError):
+            bm.is_valid(4)
+        with pytest.raises(ConfigError):
+            bm.mark_valid(-1)
+
+    def test_idempotent_marks(self):
+        bm = SubpageBitmap(4)
+        bm.mark_valid(2)
+        bm.mark_valid(2)
+        assert bm.valid_count == 1
+
+
+@given(
+    n=st.integers(min_value=1, max_value=32),
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=31)),
+        max_size=64,
+    ),
+)
+@settings(max_examples=80)
+def test_bitmap_matches_set_model(n, ops):
+    """The bitmap behaves exactly like a set of valid indices."""
+    bm = SubpageBitmap(n)
+    model: set[int] = set()
+    for mark, raw_index in ops:
+        index = raw_index % n
+        if mark:
+            bm.mark_valid(index)
+            model.add(index)
+        else:
+            bm.mark_invalid(index)
+            model.discard(index)
+    assert bm.valid_count == len(model)
+    assert set(bm.valid_indices()) == model
+    assert bm.all_valid == (len(model) == n)
+    assert bm.any_valid == bool(model)

@@ -1,0 +1,125 @@
+"""Disk model and presets."""
+
+import pytest
+
+from repro.disk.model import DiskAccessKind, DiskModel
+from repro.disk.presets import FAST_SCSI_1996, NFS_DISK, paper_disk
+from repro.errors import ConfigError
+
+
+class TestClassification:
+    def test_first_access_random(self):
+        disk = paper_disk()
+        assert disk.classify(100) is DiskAccessKind.RANDOM
+
+    def test_sequential_successor(self):
+        disk = paper_disk()
+        disk.read_page(100)
+        assert disk.classify(101) is DiskAccessKind.SEQUENTIAL
+
+    def test_nearby(self):
+        disk = paper_disk()
+        disk.read_page(100)
+        assert disk.classify(150) is DiskAccessKind.NEARBY
+
+    def test_far_is_random(self):
+        disk = paper_disk()
+        disk.read_page(100)
+        assert disk.classify(100 + 10_000) is DiskAccessKind.RANDOM
+
+    def test_previous_page_is_nearby_not_sequential(self):
+        disk = paper_disk()
+        disk.read_page(100)
+        assert disk.classify(99) is DiskAccessKind.NEARBY
+
+    def test_nearby_disabled_by_default_model(self):
+        disk = DiskModel()  # nearby_pages = 0
+        disk.read_page(100)
+        assert disk.classify(102) is DiskAccessKind.RANDOM
+
+
+class TestLatencies:
+    def test_paper_endpoints(self):
+        # "an average local disk access takes 4 to 14 ms" (Section 1).
+        disk = paper_disk()
+        seq = disk.access_latency_ms(DiskAccessKind.SEQUENTIAL)
+        rand = disk.access_latency_ms(DiskAccessKind.RANDOM)
+        assert 3.0 < seq < 5.0
+        assert 12.0 < rand < 15.0
+
+    def test_ordering(self):
+        disk = paper_disk()
+        seq = disk.access_latency_ms(DiskAccessKind.SEQUENTIAL)
+        near = disk.access_latency_ms(DiskAccessKind.NEARBY)
+        rand = disk.access_latency_ms(DiskAccessKind.RANDOM)
+        assert seq < near < rand
+
+    def test_transfer_time_scales(self):
+        disk = paper_disk()
+        assert disk.transfer_ms(16384) == pytest.approx(
+            2 * disk.transfer_ms(8192)
+        )
+
+    def test_custom_size(self):
+        disk = paper_disk()
+        small = disk.access_latency_ms(DiskAccessKind.RANDOM, 256)
+        full = disk.access_latency_ms(DiskAccessKind.RANDOM, 8192)
+        assert small < full
+        # But fixed cost dominates: even a tiny transfer is expensive.
+        assert small > 0.8 * full
+
+    def test_nfs_slower_than_local(self):
+        local = paper_disk()
+        assert NFS_DISK.access_latency_ms(
+            DiskAccessKind.RANDOM
+        ) > local.access_latency_ms(DiskAccessKind.RANDOM)
+
+    def test_remote_1k_subpage_vs_nfs_ratio(self):
+        # Section 5: a 1K remote-memory fault (0.52 ms) is 7-28x faster
+        # than an NFS-serviced disk fault.
+        seq = NFS_DISK.access_latency_ms(DiskAccessKind.SEQUENTIAL)
+        rand = NFS_DISK.access_latency_ms(DiskAccessKind.RANDOM)
+        assert 6 < seq / 0.52 < 15
+        assert 20 < rand / 0.52 < 32
+
+
+class TestStats:
+    def test_read_page_accumulates(self):
+        disk = paper_disk()
+        t1 = disk.read_page(10)
+        t2 = disk.read_page(11)
+        assert disk.stats.accesses == 2
+        assert disk.stats.sequential_accesses == 1
+        assert disk.stats.random_accesses == 1
+        assert disk.stats.total_ms == pytest.approx(t1 + t2)
+        assert disk.stats.average_ms == pytest.approx((t1 + t2) / 2)
+
+    def test_reset(self):
+        disk = paper_disk()
+        disk.read_page(10)
+        disk.reset()
+        assert disk.stats.accesses == 0
+        assert disk.classify(11) is DiskAccessKind.RANDOM
+
+    def test_latency_curve(self):
+        disk = paper_disk()
+        curve = disk.latency_curve_ms([0, 8192])
+        assert curve[0] < curve[1]
+
+
+class TestValidation:
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ConfigError):
+            DiskModel(seek_ms=-1)
+
+    def test_rejects_bad_transfer_rate(self):
+        with pytest.raises(ConfigError):
+            DiskModel(transfer_mb_per_s=0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigError):
+            paper_disk().transfer_ms(-1)
+
+    def test_presets_valid(self):
+        for disk in (paper_disk(), FAST_SCSI_1996, NFS_DISK):
+            assert disk.access_latency_ms(DiskAccessKind.RANDOM) > 0

@@ -1,0 +1,162 @@
+"""GMS cluster: getpage/putpage protocol and warm-cache setup."""
+
+import pytest
+
+from repro.errors import CapacityError, GmsError
+from repro.gms.cluster import Cluster, PageLocation
+from repro.gms.ids import PageUid
+
+
+def two_node_cluster(active=8, idle=16) -> Cluster:
+    cluster = Cluster()
+    cluster.add_node(active)
+    cluster.add_node(idle)
+    return cluster
+
+
+class TestWarmFill:
+    def test_places_pages_on_idle_nodes(self):
+        cluster = two_node_cluster()
+        placed = cluster.warm_fill(0, [1, 2, 3])
+        assert placed == 3
+        assert cluster.nodes[1].global_count == 3
+        for vpn in (1, 2, 3):
+            assert cluster.where_is(PageUid(0, vpn)) == 1
+
+    def test_rejects_overflow(self):
+        cluster = two_node_cluster(idle=2)
+        with pytest.raises(CapacityError):
+            cluster.warm_fill(0, [1, 2, 3])
+
+    def test_needs_other_node(self):
+        cluster = Cluster()
+        cluster.add_node(8)
+        with pytest.raises(GmsError):
+            cluster.warm_fill(0, [1])
+
+    def test_spreads_over_multiple_idle_nodes(self):
+        cluster = Cluster()
+        cluster.add_node(4)
+        cluster.add_node(2)
+        cluster.add_node(2)
+        cluster.warm_fill(0, [1, 2, 3, 4])
+        assert cluster.nodes[1].global_count == 2
+        assert cluster.nodes[2].global_count == 2
+
+
+class TestGetpage:
+    def test_remote_hit_moves_page(self):
+        cluster = two_node_cluster()
+        cluster.warm_fill(0, [7])
+        result = cluster.getpage(0, PageUid(0, 7), now=1.0)
+        assert result.location is PageLocation.REMOTE_MEMORY
+        assert result.serving_node == 1
+        assert cluster.nodes[0].holds_local(PageUid(0, 7))
+        assert not cluster.nodes[1].holds(PageUid(0, 7))
+        assert cluster.where_is(PageUid(0, 7)) == 0
+
+    def test_directory_miss_is_disk_fill(self):
+        cluster = two_node_cluster()
+        result = cluster.getpage(0, PageUid(0, 99), now=0.0)
+        assert result.location is PageLocation.DISK
+        assert cluster.stats.disk_fills == 1
+        assert cluster.nodes[0].holds_local(PageUid(0, 99))
+
+    def test_local_global_hit_promotes(self):
+        cluster = two_node_cluster()
+        cluster.nodes[0].add_global(PageUid(0, 5), age=0.0)
+        cluster.directory.update(PageUid(0, 5), 0)
+        result = cluster.getpage(0, PageUid(0, 5), now=1.0)
+        assert result.location is PageLocation.LOCAL_GLOBAL
+        assert cluster.nodes[0].holds_local(PageUid(0, 5))
+
+    def test_messages_counted(self):
+        cluster = two_node_cluster()
+        cluster.warm_fill(0, [7])
+        before = cluster.stats.messages
+        cluster.getpage(0, PageUid(0, 7), 0.0)
+        assert cluster.stats.messages > before
+
+    def test_hit_ratio(self):
+        cluster = two_node_cluster()
+        cluster.warm_fill(0, [1])
+        cluster.getpage(0, PageUid(0, 1), 0.0)  # hit
+        cluster.getpage(0, PageUid(0, 2), 0.0)  # disk
+        assert cluster.stats.global_hit_ratio == pytest.approx(0.5)
+
+
+class TestPutpage:
+    def test_putpage_lands_in_global_memory(self):
+        cluster = two_node_cluster()
+        cluster.nodes[0].add_local(PageUid(0, 3), now=0.0)
+        cluster.directory.update(PageUid(0, 3), 0)
+        target = cluster.putpage(0, PageUid(0, 3), age=100.0)
+        assert target == 1
+        assert cluster.nodes[1].holds_global(PageUid(0, 3))
+        assert cluster.where_is(PageUid(0, 3)) == 1
+
+    def test_putpage_requires_holding(self):
+        cluster = two_node_cluster()
+        with pytest.raises(GmsError):
+            cluster.putpage(0, PageUid(0, 3), age=0.0)
+
+    def test_full_target_pushes_oldest_to_disk(self):
+        cluster = two_node_cluster(idle=1)
+        cluster.warm_fill(0, [1])  # idle node now full
+        cluster.nodes[0].add_local(PageUid(0, 2), now=0.0)
+        cluster.directory.update(PageUid(0, 2), 0)
+        cluster.putpage(0, PageUid(0, 2), age=50.0)
+        # The warm page (age 0) was pushed out to disk.
+        assert cluster.where_is(PageUid(0, 1)) is None
+        assert cluster.nodes[1].holds_global(PageUid(0, 2))
+
+    def test_dirty_page_writeback_counted(self):
+        cluster = two_node_cluster(idle=1)
+        cluster.warm_fill(0, [1])
+        cluster.nodes[0].add_local(PageUid(0, 2), now=0.0)
+        cluster.directory.update(PageUid(0, 2), 0)
+        cluster.putpage(0, PageUid(0, 2), age=50.0, dirty=True)
+        # Now evict page 2 again from node 1 by filling it... instead:
+        # directly verify the dirty set drives writebacks when the page
+        # falls to disk.
+        uid = PageUid(0, 2)
+        cluster.nodes[1].remove_global(uid)
+        cluster._to_disk(uid, 1)
+        assert cluster.stats.disk_writebacks == 1
+
+    def test_roundtrip_fault_evict_fault(self):
+        cluster = two_node_cluster()
+        cluster.warm_fill(0, [7])
+        uid = PageUid(0, 7)
+        cluster.getpage(0, uid, 0.0)
+        cluster.putpage(0, uid, age=10.0)
+        result = cluster.getpage(0, uid, 20.0)
+        assert result.location is PageLocation.REMOTE_MEMORY
+
+
+class TestClusterShape:
+    def test_node_ids_sequential(self):
+        cluster = Cluster()
+        a = cluster.add_node(4)
+        b = cluster.add_node(4)
+        assert (a.node_id, b.node_id) == (0, 1)
+
+    def test_directory_survives_node_addition(self):
+        cluster = Cluster()
+        cluster.add_node(4)
+        cluster.add_node(8)
+        cluster.warm_fill(0, [1, 2])
+        cluster.add_node(8)  # triggers directory rebuild
+        assert cluster.where_is(PageUid(0, 1)) == 1
+
+    def test_total_free_frames(self):
+        cluster = two_node_cluster(active=8, idle=16)
+        assert cluster.total_free_frames() == 24
+
+    def test_unknown_node(self):
+        with pytest.raises(GmsError):
+            two_node_cluster().node(99)
+
+    def test_directory_before_nodes(self):
+        with pytest.raises(GmsError):
+            Cluster().directory

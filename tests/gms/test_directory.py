@@ -1,0 +1,88 @@
+"""POD and GCD directories."""
+
+import pytest
+
+from repro.errors import ConfigError, PageNotFoundError
+from repro.gms.directory import (
+    GlobalCacheDirectory,
+    PageOwnershipDirectory,
+)
+from repro.gms.ids import PageUid
+
+
+def uid(n: int) -> PageUid:
+    return PageUid(0, n)
+
+
+@pytest.fixture()
+def gcd() -> GlobalCacheDirectory:
+    return GlobalCacheDirectory(PageOwnershipDirectory([0, 1, 2]))
+
+
+class TestPod:
+    def test_deterministic(self):
+        pod = PageOwnershipDirectory([0, 1, 2])
+        assert pod.manager_of(uid(7)) == pod.manager_of(uid(7))
+
+    def test_managers_are_members(self):
+        pod = PageOwnershipDirectory([3, 5])
+        for i in range(50):
+            assert pod.manager_of(uid(i)) in (3, 5)
+
+    def test_spreads_load(self):
+        pod = PageOwnershipDirectory(list(range(4)))
+        managers = {pod.manager_of(uid(i)) for i in range(200)}
+        assert len(managers) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            PageOwnershipDirectory([])
+
+    def test_dedupes_nodes(self):
+        pod = PageOwnershipDirectory([1, 1, 2])
+        assert pod.nodes == (1, 2)
+
+
+class TestGcd:
+    def test_update_then_lookup(self, gcd):
+        gcd.update(uid(1), holder=2)
+        assert gcd.lookup(uid(1)) == 2
+
+    def test_lookup_unknown_raises(self, gcd):
+        with pytest.raises(PageNotFoundError):
+            gcd.lookup(uid(42))
+
+    def test_contains(self, gcd):
+        assert not gcd.contains(uid(1))
+        gcd.update(uid(1), 0)
+        assert gcd.contains(uid(1))
+
+    def test_update_moves_holder(self, gcd):
+        gcd.update(uid(1), 0)
+        gcd.update(uid(1), 2)
+        assert gcd.lookup(uid(1)) == 2
+        assert gcd.total_entries() == 1
+
+    def test_remove(self, gcd):
+        gcd.update(uid(1), 0)
+        gcd.remove(uid(1))
+        assert not gcd.contains(uid(1))
+
+    def test_remove_unknown_raises(self, gcd):
+        with pytest.raises(PageNotFoundError):
+            gcd.remove(uid(9))
+
+    def test_sharding_by_pod(self, gcd):
+        for i in range(60):
+            gcd.update(uid(i), 0)
+        sizes = gcd.shard_sizes()
+        assert sum(sizes.values()) == 60
+        assert all(size > 0 for size in sizes.values())
+
+    def test_stats_track_manager_load(self, gcd):
+        gcd.update(uid(1), 0)
+        manager = gcd.pod.manager_of(uid(1))
+        gcd.lookup(uid(1))
+        assert gcd.stats[manager].updates == 1
+        assert gcd.stats[manager].lookups == 1
+        assert gcd.stats[manager].hits == 1

@@ -1,0 +1,103 @@
+"""Epoch-based global replacement."""
+
+import pytest
+
+from repro.errors import ConfigError, GmsError
+from repro.gms.epoch import EpochManager, EpochParams
+from repro.gms.ids import PageUid
+from repro.gms.node import Node
+
+
+def cluster_nodes(spec: dict[int, list[float]]) -> dict[int, Node]:
+    """Build nodes holding global pages with given ages."""
+    nodes = {}
+    for node_id, ages in spec.items():
+        node = Node(node_id, capacity=len(ages) + 4)
+        for i, age in enumerate(ages):
+            node.add_global(PageUid(node_id, i), age)
+        nodes[node_id] = node
+    return nodes
+
+
+class TestEpochPlan:
+    def test_weights_follow_old_pages(self):
+        # Node 0 holds all the old pages; it should absorb evictions.
+        nodes = cluster_nodes({0: [0.0, 1.0, 2.0], 1: [100.0, 101.0]})
+        mgr = EpochManager(EpochParams(target_evictions=3))
+        plan = mgr.recompute(nodes)
+        assert plan.weights[0] == pytest.approx(1.0)
+        assert plan.weights[1] == pytest.approx(0.0)
+
+    def test_weights_sum_to_one(self):
+        nodes = cluster_nodes({0: [1.0, 5.0], 1: [2.0, 6.0], 2: [3.0]})
+        plan = EpochManager().recompute(nodes)
+        assert sum(plan.weights.values()) == pytest.approx(1.0)
+
+    def test_discard_threshold_is_mth_oldest(self):
+        nodes = cluster_nodes({0: [1.0, 2.0, 3.0, 4.0]})
+        mgr = EpochManager(EpochParams(target_evictions=2))
+        plan = mgr.recompute(nodes)
+        assert plan.discard_age_threshold == pytest.approx(2.0)
+
+    def test_empty_cluster_uniform(self):
+        nodes = {0: Node(0, 4), 1: Node(1, 4)}
+        plan = EpochManager().recompute(nodes)
+        assert plan.weights[0] == pytest.approx(0.5)
+
+    def test_epoch_counter(self):
+        mgr = EpochManager()
+        nodes = cluster_nodes({0: [1.0]})
+        mgr.recompute(nodes)
+        mgr.recompute(nodes)
+        assert mgr.epochs_computed == 2
+
+
+class TestChooseTarget:
+    def test_excludes_self(self):
+        nodes = cluster_nodes({0: [1.0], 1: [2.0], 2: [3.0]})
+        mgr = EpochManager(seed=1)
+        for _ in range(20):
+            assert mgr.choose_target(nodes, exclude=1) != 1
+
+    def test_follows_weights(self):
+        # All old pages on node 2: nearly every putpage should land there.
+        nodes = cluster_nodes(
+            {0: [1000.0], 1: [1001.0], 2: [0.0, 1.0, 2.0, 3.0]}
+        )
+        mgr = EpochManager(EpochParams(target_evictions=4), seed=0)
+        picks = [mgr.choose_target(nodes, exclude=0) for _ in range(30)]
+        assert picks.count(2) > 25
+
+    def test_single_other_node(self):
+        nodes = cluster_nodes({0: [1.0], 1: [2.0]})
+        assert EpochManager().choose_target(nodes, exclude=0) == 1
+
+    def test_no_other_node_raises(self):
+        nodes = cluster_nodes({0: [1.0]})
+        with pytest.raises(GmsError):
+            EpochManager().choose_target(nodes, exclude=0)
+
+    def test_recomputes_after_max_operations(self):
+        nodes = cluster_nodes({0: [1.0], 1: [2.0]})
+        mgr = EpochManager(
+            EpochParams(target_evictions=1, max_epoch_operations=5)
+        )
+        for _ in range(12):
+            mgr.choose_target(nodes, exclude=0)
+        assert mgr.epochs_computed >= 2
+
+
+class TestShouldDiscard:
+    def test_old_page_discarded(self):
+        nodes = cluster_nodes({0: [1.0, 2.0], 1: [50.0]})
+        mgr = EpochManager(EpochParams(target_evictions=2))
+        assert mgr.should_discard(nodes, page_age=0.5)
+        assert not mgr.should_discard(nodes, page_age=10.0)
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EpochParams(target_evictions=0)
+        with pytest.raises(ConfigError):
+            EpochParams(max_epoch_operations=0)

@@ -1,0 +1,141 @@
+"""GMS node memory management."""
+
+import pytest
+
+from repro.errors import CapacityError, GmsError
+from repro.gms.ids import PageUid
+from repro.gms.node import Node
+
+
+def uid(n: int) -> PageUid:
+    return PageUid(0, n)
+
+
+class TestLocalPages:
+    def test_add_and_hold(self):
+        node = Node(1, capacity=4)
+        node.add_local(uid(1), now=0.0)
+        assert node.holds_local(uid(1))
+        assert node.local_count == 1
+        assert node.free_frames == 3
+
+    def test_capacity_enforced(self):
+        node = Node(1, capacity=1)
+        node.add_local(uid(1), 0.0)
+        with pytest.raises(CapacityError):
+            node.add_local(uid(2), 0.0)
+
+    def test_duplicate_rejected(self):
+        node = Node(1, capacity=4)
+        node.add_local(uid(1), 0.0)
+        with pytest.raises(GmsError):
+            node.add_local(uid(1), 1.0)
+
+    def test_lru_eviction_order(self):
+        node = Node(1, capacity=4)
+        node.add_local(uid(1), 0.0)
+        node.add_local(uid(2), 1.0)
+        node.touch_local(uid(1), 2.0)
+        assert node.evict_oldest_local() == uid(2)
+
+    def test_touch_unknown_raises(self):
+        node = Node(1, capacity=4)
+        with pytest.raises(GmsError):
+            node.touch_local(uid(1), 0.0)
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(GmsError):
+            Node(1, 4).evict_oldest_local()
+
+    def test_oldest_local_peeks_without_removing(self):
+        node = Node(1, capacity=4)
+        assert node.oldest_local() is None
+        node.add_local(uid(1), 0.0)
+        node.add_local(uid(2), 1.0)
+        assert node.oldest_local() == uid(1)
+        assert node.local_count == 2
+
+    def test_drop_local(self):
+        node = Node(1, capacity=4)
+        node.add_local(uid(1), 0.0)
+        node.drop_local(uid(1))
+        assert not node.holds(uid(1))
+
+
+class TestGlobalPages:
+    def test_add_global(self):
+        node = Node(1, capacity=2)
+        node.add_global(uid(5), age=3.0)
+        assert node.holds_global(uid(5))
+        assert node.global_count == 1
+
+    def test_oldest_global_by_age(self):
+        node = Node(1, capacity=4)
+        node.add_global(uid(1), age=5.0)
+        node.add_global(uid(2), age=2.0)
+        node.add_global(uid(3), age=9.0)
+        assert node.oldest_global() == uid(2)
+        assert node.evict_oldest_global() == uid(2)
+        assert node.oldest_global() == uid(1)
+
+    def test_oldest_global_empty(self):
+        assert Node(1, 4).oldest_global() is None
+
+    def test_promote_to_local(self):
+        node = Node(1, capacity=2)
+        node.add_global(uid(1), age=0.0)
+        node.promote_to_local(uid(1), now=1.0)
+        assert node.holds_local(uid(1))
+        assert not node.holds_global(uid(1))
+        assert node.used == 1
+
+    def test_promote_unknown_raises(self):
+        with pytest.raises(GmsError):
+            Node(1, 4).promote_to_local(uid(1), 0.0)
+
+    def test_capacity_shared_between_kinds(self):
+        node = Node(1, capacity=2)
+        node.add_local(uid(1), 0.0)
+        node.add_global(uid(2), 0.0)
+        with pytest.raises(CapacityError):
+            node.add_global(uid(3), 0.0)
+
+
+class TestIntrospection:
+    def test_stats(self):
+        node = Node(7, capacity=5)
+        node.add_local(uid(1), 0.0)
+        node.add_global(uid(2), 0.0)
+        stats = node.stats()
+        assert stats.node == 7
+        assert stats.local_pages == 1
+        assert stats.global_pages == 1
+        assert stats.free_frames == 3
+
+    def test_page_ages_cover_both_kinds(self):
+        node = Node(1, capacity=4)
+        node.add_local(uid(1), 3.0)
+        node.add_global(uid(2), 7.0)
+        ages = dict(node.page_ages())
+        assert ages == {uid(1): 3.0, uid(2): 7.0}
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            Node(1, capacity=-1)
+
+
+class TestPageUid:
+    def test_ordering_and_equality(self):
+        assert PageUid(0, 1) == PageUid(0, 1)
+        assert PageUid(0, 1) < PageUid(0, 2) < PageUid(1, 0)
+
+    def test_hashable(self):
+        assert len({PageUid(0, 1), PageUid(0, 1), PageUid(0, 2)}) == 2
+
+    def test_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            PageUid(-1, 0)
+        with pytest.raises(ConfigError):
+            PageUid(0, -1)

@@ -1,0 +1,111 @@
+"""Table 2 constants, derived columns, and the timeline fit."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.calibration import (
+    PAPER_FULLPAGE_MS,
+    PAPER_TABLE2,
+    fit_timeline_params,
+    interrupt_cost_ms,
+    overlapped_execution_fraction,
+    sender_pipelining_fraction,
+    table2_derived_columns,
+    table2_row,
+)
+from repro.net.timeline import simulate_fetch
+
+
+class TestPublishedConstants:
+    def test_five_rows(self):
+        assert [r.subpage_bytes for r in PAPER_TABLE2] == [
+            256, 512, 1024, 2048, 4096,
+        ]
+
+    def test_subpage_latency_monotone_in_size(self):
+        subs = [r.subpage_latency_ms for r in PAPER_TABLE2]
+        assert subs == sorted(subs)
+
+    def test_rest_latency_antimonotone(self):
+        rests = [r.rest_of_page_ms for r in PAPER_TABLE2]
+        assert rests == sorted(rests, reverse=True)
+
+    def test_1k_subpage_is_a_third_of_fullpage(self):
+        # The abstract's headline: 0.52 ms vs ~1.5 ms.
+        row = table2_row(1024)
+        assert row.subpage_latency_ms / PAPER_FULLPAGE_MS == pytest.approx(
+            1 / 3, abs=0.05
+        )
+
+    def test_table2_row_unknown_size(self):
+        with pytest.raises(ConfigError):
+            table2_row(300)
+
+
+class TestDerivedColumns:
+    """The paper's improvement-potential columns, reproduced exactly."""
+
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(256, 0.50), (512, 0.47), (1024, 0.40), (2048, 0.23), (4096, 0.01)],
+    )
+    def test_overlapped_execution(self, size, expected):
+        # A single receive-CPU constant reproduces the paper's column to
+        # within ~2 points (the 2048 row is the farthest off).
+        frac = overlapped_execution_fraction(table2_row(size))
+        assert frac == pytest.approx(expected, abs=0.025)
+
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(256, 0.00), (512, 0.01), (1024, 0.07), (2048, 0.16), (4096, 0.17)],
+    )
+    def test_sender_pipelining(self, size, expected):
+        frac = sender_pipelining_fraction(table2_row(size))
+        assert frac == pytest.approx(expected, abs=0.01)
+
+    def test_derived_columns_cover_all_rows(self):
+        cols = table2_derived_columns()
+        assert len(cols) == 5
+        assert all("overlapped_execution" in c for c in cols)
+
+
+class TestInterruptCost:
+    def test_published_points(self):
+        assert interrupt_cost_ms(256) == pytest.approx(0.068)
+        assert interrupt_cost_ms(1024) == pytest.approx(0.091)
+
+    def test_interpolates_between(self):
+        assert 0.068 < interrupt_cost_ms(512) < 0.091
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            interrupt_cost_ms(0)
+
+
+class TestTimelineFit:
+    def test_fit_reproduces_table2_within_7_percent(self):
+        params = fit_timeline_params()
+        for row in PAPER_TABLE2:
+            tl = simulate_fetch(params, 8192, row.subpage_bytes,
+                                scheme="eager")
+            assert tl.resume_ms == pytest.approx(
+                row.subpage_latency_ms, rel=0.07
+            )
+            assert tl.completion_ms == pytest.approx(
+                row.rest_of_page_ms, rel=0.07
+            )
+
+    def test_fit_reproduces_fullpage(self):
+        params = fit_timeline_params()
+        tl = simulate_fetch(params, 8192, 8192, scheme="fullpage")
+        assert tl.completion_ms == pytest.approx(PAPER_FULLPAGE_MS, rel=0.05)
+
+    def test_fit_is_cached(self):
+        assert fit_timeline_params() is fit_timeline_params()
+
+    def test_fit_reproduces_nonmonotone_completion(self):
+        # The 1K-worse-than-2K effect of Section 3.1.1.
+        params = fit_timeline_params()
+        c1k = simulate_fetch(params, 8192, 1024, scheme="eager").completion_ms
+        c2k = simulate_fetch(params, 8192, 2048, scheme="eager").completion_ms
+        assert c1k > c2k

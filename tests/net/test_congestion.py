@@ -1,0 +1,110 @@
+"""Shared receiver-link congestion model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.congestion import LinkModel, PendingArrivals
+
+
+def pending(arrivals, wire_end):
+    return PendingArrivals(arrival_ms=dict(arrivals), wire_end_ms=wire_end)
+
+
+class TestPendingArrivals:
+    def test_shift_after_moves_later_arrivals(self):
+        p = pending({0: 1.0, 1: 2.0, 2: 3.0}, wire_end=3.0)
+        p.shift_after(1.5, 0.5)
+        assert p.arrival_ms == {0: 1.0, 1: 2.5, 2: 3.5}
+        assert p.wire_end_ms == 3.5
+
+    def test_shift_ignores_past_wire_end(self):
+        p = pending({0: 1.0}, wire_end=1.0)
+        p.shift_after(2.0, 1.0)
+        assert p.wire_end_ms == 1.0
+
+    def test_earliest_latest(self):
+        p = pending({0: 1.0, 5: 4.0}, wire_end=4.0)
+        assert p.earliest() == 1.0
+        assert p.latest() == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(SimulationError):
+            PendingArrivals().earliest()
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(SimulationError):
+            pending({0: 1.0}, 1.0).shift_after(0.0, -1.0)
+
+
+class TestLinkModel:
+    def test_idle_background_not_delayed(self):
+        link = LinkModel()
+        p = pending({1: 2.0}, wire_end=2.0)
+        delay = link.background(ready_ms=1.0, wire_ms=1.0, pending=p)
+        assert delay == 0.0
+        assert p.arrival_ms[1] == 2.0
+
+    def test_busy_background_queues(self):
+        link = LinkModel()
+        p1 = pending({1: 2.0}, wire_end=2.0)
+        link.background(1.0, 1.0, p1)  # busy until 2.0
+        p2 = pending({1: 2.5}, wire_end=2.5)
+        delay = link.background(1.5, 1.0, p2)
+        assert delay == pytest.approx(0.5)
+        assert p2.arrival_ms[1] == pytest.approx(3.0)
+        assert link.total_queueing_delay_ms == pytest.approx(0.5)
+
+    def test_demand_preempts_in_flight_background(self):
+        link = LinkModel()
+        p = pending({1: 2.0, 2: 3.0}, wire_end=3.0)
+        link.background(1.0, 2.0, p)
+        link.demand(ready_ms=1.5, wire_ms=0.4)
+        # Arrivals after 1.5 pushed back by the demand wire time.
+        assert p.arrival_ms[1] == pytest.approx(2.4)
+        assert p.arrival_ms[2] == pytest.approx(3.4)
+        assert link.total_preemption_delay_ms == pytest.approx(0.4)
+
+    def test_demand_ignores_finished_background(self):
+        link = LinkModel()
+        p = pending({1: 2.0}, wire_end=2.0)
+        link.background(1.0, 1.0, p)
+        link.demand(ready_ms=5.0, wire_ms=1.0)
+        assert p.arrival_ms[1] == 2.0  # transfer already done
+
+    def test_demand_never_delayed(self):
+        # Demand transfers have priority: the model exposes no delay for
+        # them, only counts them.
+        link = LinkModel()
+        link.demand(0.0, 1.0)
+        link.demand(0.1, 1.0)
+        assert link.demand_transfers == 2
+
+    def test_busy_until_tracks_everything(self):
+        link = LinkModel()
+        link.demand(0.0, 1.0)
+        assert link.busy_until_ms == pytest.approx(1.0)
+        p = pending({1: 3.0}, wire_end=3.0)
+        link.background(0.5, 1.5, p)  # starts at 1.0, ends 2.5
+        assert link.busy_until_ms == pytest.approx(2.5)
+
+    def test_transfer_counts(self):
+        link = LinkModel()
+        link.demand(0.0, 0.1)
+        link.background(0.0, 0.1, pending({1: 1.0}, 1.0))
+        assert link.demand_transfers == 1
+        assert link.background_transfers == 1
+
+    def test_negative_wire_rejected(self):
+        link = LinkModel()
+        with pytest.raises(SimulationError):
+            link.demand(0.0, -1.0)
+        with pytest.raises(SimulationError):
+            link.background(0.0, -1.0, pending({1: 1.0}, 1.0))
+
+    def test_multiple_backgrounds_fifo(self):
+        link = LinkModel()
+        waits = []
+        for i in range(3):
+            p = pending({1: 1.0 + i}, wire_end=1.0 + i)
+            waits.append(link.background(0.0, 1.0, p))
+        assert waits == [0.0, pytest.approx(1.0), pytest.approx(2.0)]

@@ -1,0 +1,106 @@
+"""Fixed-overhead latency model (the Section 2.2 sweep)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.latency import (
+    CalibratedLatencyModel,
+    FixedOverheadLatencyModel,
+    LatencyModel,
+)
+
+
+class TestFixedOverheadModel:
+    def test_identity_at_factor_one(self):
+        base = CalibratedLatencyModel()
+        same = FixedOverheadLatencyModel(base, 1.0)
+        for size in (256, 1024, 4096):
+            assert same.subpage_latency_ms(size) == pytest.approx(
+                base.subpage_latency_ms(size)
+            )
+            assert same.rest_of_page_ms(size) == pytest.approx(
+                base.rest_of_page_ms(size)
+            )
+        assert same.fullpage_latency_ms() == pytest.approx(
+            base.fullpage_latency_ms()
+        )
+
+    def test_only_fixed_part_scales(self):
+        base = CalibratedLatencyModel()
+        heavy = FixedOverheadLatencyModel(base, 3.0)
+        delta = 2.0 * base.request_fixed_ms
+        for size in (256, 1024, 4096):
+            assert heavy.subpage_latency_ms(size) == pytest.approx(
+                base.subpage_latency_ms(size) + delta
+            )
+
+    def test_zero_overhead(self):
+        base = CalibratedLatencyModel()
+        free = FixedOverheadLatencyModel(base, 0.0)
+        assert free.request_fixed_ms == 0.0
+        assert free.subpage_latency_ms(1024) == pytest.approx(
+            base.subpage_latency_ms(1024) - base.request_fixed_ms
+        )
+
+    def test_wire_time_unchanged(self):
+        base = CalibratedLatencyModel()
+        heavy = FixedOverheadLatencyModel(base, 4.0)
+        assert heavy.wire_time_ms(8192) == base.wire_time_ms(8192)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            FixedOverheadLatencyModel(CalibratedLatencyModel(), -1.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(
+            FixedOverheadLatencyModel(CalibratedLatencyModel(), 2.0),
+            LatencyModel,
+        )
+
+    def test_higher_overhead_hurts_small_transfers_more(self):
+        # Relative inflation is largest for the smallest transfers:
+        # that is why fixed overheads dilute the subpage benefit.
+        base = CalibratedLatencyModel()
+        heavy = FixedOverheadLatencyModel(base, 4.0)
+        inflation_small = heavy.subpage_latency_ms(256) / (
+            base.subpage_latency_ms(256)
+        )
+        inflation_full = heavy.fullpage_latency_ms() / (
+            base.fullpage_latency_ms()
+        )
+        assert inflation_small > inflation_full
+
+
+class TestColdClusterConfig:
+    def test_cold_start_fills_from_disk(self):
+        from repro.sim.config import SimulationConfig
+        from repro.sim.simulator import simulate
+        from tests.conftest import make_trace, page_addr
+
+        trace = make_trace([page_addr(p) for p in range(6)])
+        cold = simulate(
+            trace,
+            SimulationConfig(
+                memory_pages=8, backing="cluster", cluster_nodes=3,
+                cluster_warm=False,
+            ),
+        )
+        assert cold.disk_faults == 6
+        assert cold.remote_faults == 0
+
+    def test_cold_refaults_hit_global_memory(self):
+        from repro.sim.config import SimulationConfig
+        from repro.sim.simulator import simulate
+        from tests.conftest import make_trace, page_addr
+
+        pages = [0, 1, 2, 0]  # refault 0 after eviction
+        trace = make_trace([page_addr(p) for p in pages])
+        cold = simulate(
+            trace,
+            SimulationConfig(
+                memory_pages=2, backing="cluster", cluster_nodes=3,
+                cluster_warm=False,
+            ),
+        )
+        assert cold.disk_faults == 3
+        assert cold.remote_faults == 1

@@ -1,0 +1,100 @@
+"""Simulated prototype measurement (the Section 3.1.1 process)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.calibration import PAPER_TABLE2, fit_timeline_params
+from repro.net.measurement import (
+    FetchSample,
+    JitterModel,
+    extract_medians,
+    log_fetches,
+    measure_table,
+)
+from repro.net.timeline import TimelineParams, simulate_fetch
+
+PARAMS = TimelineParams()
+
+
+class TestLogging:
+    def test_sample_count(self):
+        log = log_fetches(PARAMS, 1024, samples=25)
+        assert len(log) == 25
+
+    def test_deterministic_per_seed(self):
+        a = log_fetches(PARAMS, 1024, 10, seed=4)
+        b = log_fetches(PARAMS, 1024, 10, seed=4)
+        assert [s.resume_ms for s in a] == [s.resume_ms for s in b]
+
+    def test_completion_never_before_resume(self):
+        big_jitter = JitterModel(proportional=0.3, absolute_ms=0.2)
+        for sample in log_fetches(PARAMS, 1024, 200, jitter=big_jitter):
+            assert sample.completion_ms >= sample.resume_ms
+
+    def test_zero_jitter_is_exact(self):
+        quiet = JitterModel(proportional=0.0, absolute_ms=0.0)
+        clean = simulate_fetch(PARAMS, 8192, 1024, scheme="eager")
+        log = log_fetches(PARAMS, 1024, 5, jitter=quiet)
+        for sample in log:
+            assert sample.resume_ms == pytest.approx(clean.resume_ms)
+            assert sample.completion_ms == pytest.approx(
+                clean.completion_ms
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            log_fetches(PARAMS, 1024, 0)
+        with pytest.raises(ConfigError):
+            JitterModel(proportional=-0.1)
+
+
+class TestMedianExtraction:
+    def test_medians_recover_noiseless_values(self):
+        params = fit_timeline_params()
+        clean = simulate_fetch(params, 8192, 1024, scheme="eager")
+        row = extract_medians(log_fetches(params, 1024, samples=301))
+        assert row.subpage_median_ms == pytest.approx(
+            clean.resume_ms, rel=0.03
+        )
+        assert row.rest_median_ms == pytest.approx(
+            clean.completion_ms, rel=0.03
+        )
+
+    def test_rejects_empty_and_mixed(self):
+        with pytest.raises(ConfigError):
+            extract_medians([])
+        mixed = [
+            FetchSample(256, 0.4, 1.5),
+            FetchSample(512, 0.5, 1.5),
+        ]
+        with pytest.raises(ConfigError):
+            extract_medians(mixed)
+
+    def test_overlap_window(self):
+        row = extract_medians([FetchSample(1024, 0.5, 1.4)] * 3)
+        assert row.overlap_window_ms == pytest.approx(0.9)
+
+
+class TestEndToEndCalibration:
+    def test_measured_table_matches_paper_within_ten_percent(self):
+        # The full Section 3.1.1 loop: fitted "prototype" -> jittered
+        # fetch logs -> medians -> a table that must land near the
+        # published Table 2.
+        params = fit_timeline_params()
+        rows = measure_table(params, samples=301)
+        by_size = {r.subpage_bytes: r for r in rows}
+        for paper_row in PAPER_TABLE2:
+            measured = by_size[paper_row.subpage_bytes]
+            assert measured.subpage_median_ms == pytest.approx(
+                paper_row.subpage_latency_ms, rel=0.10
+            )
+            assert measured.rest_median_ms == pytest.approx(
+                paper_row.rest_of_page_ms, rel=0.10
+            )
+
+    def test_measured_table_preserves_trends(self):
+        rows = measure_table(fit_timeline_params(), samples=151)
+        subs = [r.subpage_median_ms for r in rows]
+        rests = [r.rest_median_ms for r in rows]
+        assert subs == sorted(subs)
+        assert rests == sorted(rests, reverse=True)

@@ -1,0 +1,85 @@
+"""Link presets and the Figure 1 latency model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.params import (
+    AN2_ATM,
+    ETHERNET_IDLE,
+    ETHERNET_LOADED,
+    LinkParams,
+    transfer_latency_ms,
+)
+
+
+class TestLinkParams:
+    def test_wire_time_scales_linearly(self):
+        assert AN2_ATM.wire_time_ms(2048) == pytest.approx(
+            2 * AN2_ATM.wire_time_ms(1024)
+        )
+
+    def test_an2_8k_wire_time(self):
+        # ~0.47 ms for 8K at ATM cell-payload efficiency: the right scale
+        # for the paper's 1.03 ms network+controller component.
+        assert 0.4 < AN2_ATM.wire_time_ms(8192) < 0.55
+
+    def test_effective_below_raw(self):
+        for link in (AN2_ATM, ETHERNET_IDLE, ETHERNET_LOADED):
+            assert link.effective_mbits <= link.raw_mbits
+
+    def test_scaled(self):
+        fast = AN2_ATM.scaled(4.0)
+        assert fast.wire_time_ms(8192) == pytest.approx(
+            AN2_ATM.wire_time_ms(8192) / 4
+        )
+        assert fast.fixed_overhead_ms == AN2_ATM.fixed_overhead_ms
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            AN2_ATM.scaled(0)
+
+    def test_rejects_effective_above_raw(self):
+        with pytest.raises(ConfigError):
+            LinkParams("x", raw_mbits=10, effective_mbits=20,
+                       fixed_overhead_ms=0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigError):
+            AN2_ATM.wire_time_ms(-1)
+
+
+class TestFigure1Shape:
+    """The four observations the paper draws from Figure 1."""
+
+    def test_networks_have_low_fixed_overhead(self):
+        assert transfer_latency_ms(AN2_ATM, 0) < 1.0
+        assert transfer_latency_ms(ETHERNET_IDLE, 0) < 1.0
+
+    def test_atm_latency_falls_with_size(self):
+        big = transfer_latency_ms(AN2_ATM, 8192)
+        small = transfer_latency_ms(AN2_ATM, 1024)
+        assert small < 0.6 * big
+
+    def test_loaded_ethernet_slower_than_idle(self):
+        for size in (0, 1024, 8192):
+            assert transfer_latency_ms(
+                ETHERNET_LOADED, size
+            ) > transfer_latency_ms(ETHERNET_IDLE, size)
+
+    def test_ethernet_beats_disk_for_small_pages(self):
+        from repro.disk.model import DiskAccessKind
+        from repro.disk.presets import paper_disk
+
+        disk = paper_disk()
+        disk_small = disk.access_latency_ms(DiskAccessKind.RANDOM, 256)
+        assert transfer_latency_ms(ETHERNET_IDLE, 256) < disk_small
+
+    def test_ethernet_worse_than_disk_for_large_transfers(self):
+        from repro.disk.model import DiskAccessKind
+        from repro.disk.presets import paper_disk
+
+        disk = paper_disk()
+        big = 64 * 1024
+        assert transfer_latency_ms(ETHERNET_LOADED, big) > (
+            disk.access_latency_ms(DiskAccessKind.RANDOM, big)
+        )

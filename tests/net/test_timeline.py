@@ -1,0 +1,127 @@
+"""Five-resource fetch timeline model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.timeline import (
+    FetchTimeline,
+    Resource,
+    TimelineParams,
+    simulate_fetch,
+)
+
+PARAMS = TimelineParams()
+
+
+class TestSegmentation:
+    def test_fullpage_single_segment(self):
+        tl = simulate_fetch(PARAMS, 8192, 8192, scheme="fullpage")
+        assert len(tl.segment_arrivals_ms) == 1
+        assert tl.resume_ms == tl.completion_ms
+
+    def test_eager_two_segments(self):
+        tl = simulate_fetch(PARAMS, 8192, 1024, scheme="eager")
+        assert len(tl.segment_arrivals_ms) == 2
+        assert tl.resume_ms < tl.completion_ms
+
+    def test_eager_with_subpage_equal_to_page(self):
+        tl = simulate_fetch(PARAMS, 8192, 8192, scheme="eager")
+        assert len(tl.segment_arrivals_ms) == 1
+
+    def test_pipelined_segments(self):
+        tl = simulate_fetch(
+            PARAMS, 8192, 1024, scheme="pipelined", pipeline_subpages=2
+        )
+        # faulted + 2 pipelined + remainder
+        assert len(tl.segment_arrivals_ms) == 4
+
+    def test_pipelined_caps_at_page(self):
+        tl = simulate_fetch(
+            PARAMS, 8192, 4096, scheme="pipelined", pipeline_subpages=9
+        )
+        # Only one other subpage exists.
+        assert len(tl.segment_arrivals_ms) == 2
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigError, match="unknown scheme"):
+            simulate_fetch(PARAMS, 8192, 1024, scheme="bogus")
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            simulate_fetch(PARAMS, 8192, 3000)
+        with pytest.raises(ConfigError):
+            simulate_fetch(PARAMS, 8192, 16384)
+
+    def test_rejects_negative_pipeline(self):
+        with pytest.raises(ConfigError):
+            simulate_fetch(PARAMS, 8192, 1024, scheme="pipelined",
+                           pipeline_subpages=-1)
+
+
+class TestTimingProperties:
+    def test_arrivals_monotone(self):
+        tl = simulate_fetch(
+            PARAMS, 8192, 512, scheme="pipelined", pipeline_subpages=3
+        )
+        arrivals = tl.segment_arrivals_ms
+        assert arrivals == sorted(arrivals)
+
+    def test_smaller_subpage_resumes_sooner(self):
+        resumes = [
+            simulate_fetch(PARAMS, 8192, s, scheme="eager").resume_ms
+            for s in (256, 512, 1024, 2048, 4096)
+        ]
+        assert resumes == sorted(resumes)
+
+    def test_request_cost_floor(self):
+        tl = simulate_fetch(PARAMS, 8192, 256, scheme="eager")
+        assert tl.resume_ms > PARAMS.request_fixed_ms
+
+    def test_sender_pipelining_helps_large_subpages(self):
+        # Split transfers can complete before the monolithic fullpage one.
+        full = simulate_fetch(PARAMS, 8192, 8192, scheme="fullpage")
+        eager4k = simulate_fetch(PARAMS, 8192, 4096, scheme="eager")
+        assert eager4k.completion_ms < full.completion_ms
+
+    def test_overlap_window(self):
+        tl = simulate_fetch(PARAMS, 8192, 1024, scheme="eager")
+        assert tl.overlap_window_ms == pytest.approx(
+            tl.completion_ms - tl.resume_ms
+        )
+
+
+class TestSpans:
+    def test_all_resources_used(self):
+        tl = simulate_fetch(PARAMS, 8192, 1024, scheme="eager")
+        used = {s.resource for s in tl.spans}
+        assert used == set(Resource)
+
+    def test_spans_have_positive_duration(self):
+        tl = simulate_fetch(PARAMS, 8192, 1024, scheme="eager")
+        for span in tl.spans:
+            assert span.duration_ms >= 0
+
+    def test_wire_spans_never_overlap(self):
+        tl = simulate_fetch(
+            PARAMS, 8192, 1024, scheme="pipelined", pipeline_subpages=2
+        )
+        wire = sorted(
+            (s.start_ms, s.end_ms)
+            for s in tl.spans
+            if s.resource is Resource.WIRE
+        )
+        for (s1, e1), (s2, e2) in zip(wire, wire[1:]):
+            assert s2 >= e1 - 1e-9
+
+
+class TestParams:
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ConfigError):
+            TimelineParams(wire_ms_per_kb=-1)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ConfigError):
+            TimelineParams(chunk_bytes=0)
+
+    def test_per_byte(self):
+        assert PARAMS.per_byte(1.024) == pytest.approx(0.001)

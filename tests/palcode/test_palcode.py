@@ -1,0 +1,143 @@
+"""PALcode emulation cost model (Table 1)."""
+
+import pytest
+
+from repro.palcode.costs import (
+    ALPHA250_CLOCK_MHZ,
+    PAL_COSTS,
+    PalOperation,
+    emulation_cost_ms,
+)
+from repro.palcode.emulator import PalEmulator
+
+
+class TestTable1:
+    @pytest.mark.parametrize(
+        "op,cycles,time_ns",
+        [
+            (PalOperation.FAST_LOAD, 52, 195),
+            (PalOperation.SLOW_LOAD, 95, 361),
+            (PalOperation.FAST_STORE, 64, 241),
+            (PalOperation.SLOW_STORE, 102, 383),
+            (PalOperation.NULL_PAL_CALL, 15, 56),
+            (PalOperation.L1_CACHE_HIT, 3, 11),
+            (PalOperation.L2_CACHE_HIT, 8, 30),
+            (PalOperation.L2_MISS, 84, 315),
+        ],
+    )
+    def test_cycles_and_times_match_paper(self, op, cycles, time_ns):
+        timing = PAL_COSTS[op]
+        assert timing.cycles == cycles
+        # The paper's times follow from cycles at 266 MHz (its own table
+        # rounds a little: 95 cycles is 357 ns, printed as 361).
+        assert timing.time_ns == pytest.approx(time_ns, abs=5)
+
+    def test_clock(self):
+        assert ALPHA250_CLOCK_MHZ == 266.0
+
+    def test_fast_faster_than_slow(self):
+        assert (
+            PAL_COSTS[PalOperation.FAST_LOAD].cycles
+            < PAL_COSTS[PalOperation.SLOW_LOAD].cycles
+        )
+        assert (
+            PAL_COSTS[PalOperation.FAST_STORE].cycles
+            < PAL_COSTS[PalOperation.SLOW_STORE].cycles
+        )
+
+    def test_paper_ratios(self):
+        # "a fast load is 6.5 times slower than an L2 cache hit, and 1.6
+        # times faster than an L2 miss" (Section 3.1.1).
+        fast = PAL_COSTS[PalOperation.FAST_LOAD].time_ns
+        assert fast / PAL_COSTS[PalOperation.L2_CACHE_HIT].time_ns == (
+            pytest.approx(6.5, abs=0.1)
+        )
+        assert PAL_COSTS[PalOperation.L2_MISS].time_ns / fast == (
+            pytest.approx(1.6, abs=0.1)
+        )
+
+
+class TestEmulationCost:
+    def test_same_page_is_fast(self):
+        assert emulation_cost_ms(False, True) == (
+            PAL_COSTS[PalOperation.FAST_LOAD].time_ms
+        )
+
+    def test_new_page_is_slow(self):
+        assert emulation_cost_ms(True, False) == (
+            PAL_COSTS[PalOperation.SLOW_STORE].time_ms
+        )
+
+
+class TestPalEmulator:
+    def test_first_run_slow_rest_fast(self):
+        emu = PalEmulator()
+        cost = emu.charge_run(page=1, count=5, is_write=False)
+        expected = (
+            PAL_COSTS[PalOperation.SLOW_LOAD].time_ms
+            + 4 * PAL_COSTS[PalOperation.FAST_LOAD].time_ms
+        )
+        assert cost == pytest.approx(expected)
+        assert emu.stats.slow_loads == 1
+        assert emu.stats.fast_loads == 4
+
+    def test_same_page_stays_fast(self):
+        emu = PalEmulator()
+        emu.charge_run(1, 1, False)
+        emu.charge_run(1, 1, False)
+        assert emu.stats.slow_loads == 1
+        assert emu.stats.fast_loads == 1
+
+    def test_page_switch_is_slow_again(self):
+        emu = PalEmulator()
+        emu.charge_run(1, 1, False)
+        emu.charge_run(2, 1, False)
+        assert emu.stats.slow_loads == 2
+
+    def test_stores_counted_separately(self):
+        emu = PalEmulator()
+        emu.charge_run(1, 3, True)
+        assert emu.stats.slow_stores == 1
+        assert emu.stats.fast_stores == 2
+        assert emu.stats.fast_loads == 0
+
+    def test_zero_count_free(self):
+        emu = PalEmulator()
+        assert emu.charge_run(1, 0, False) == 0.0
+        assert emu.stats.emulated_accesses == 0
+
+    def test_overhead_accumulates(self):
+        emu = PalEmulator()
+        a = emu.charge_run(1, 10, False)
+        b = emu.charge_run(2, 10, True)
+        assert emu.stats.overhead_ms == pytest.approx(a + b)
+
+    def test_overhead_fraction(self):
+        emu = PalEmulator()
+        emu.charge_run(1, 100, False)
+        assert emu.stats.overhead_fraction(1000.0) == pytest.approx(
+            emu.stats.overhead_ms / 1000.0
+        )
+        assert emu.stats.overhead_fraction(0.0) == 0.0
+
+    def test_reset(self):
+        emu = PalEmulator()
+        emu.charge_run(1, 5, False)
+        emu.reset()
+        assert emu.stats.emulated_accesses == 0
+        # After reset, the first access is slow again.
+        emu.charge_run(1, 1, False)
+        assert emu.stats.slow_loads == 1
+
+    def test_paper_claim_sub_one_percent_overhead(self):
+        # Section 3.1.1: emulation slowed execution by less than 1%.
+        # Pages are incomplete only during the ~1 ms rest-of-page window
+        # after each fault, and the program spends most of that window
+        # stalled or on other pages, so only a small sliver of references
+        # (here 0.05%) is actually emulated.
+        emu = PalEmulator()
+        refs = 1_000_000
+        emulated = refs // 2000
+        emu.charge_run(1, emulated, False)
+        exec_ms = refs * 12e-6  # 12 ns/event
+        assert emu.stats.overhead_fraction(exec_ms) < 0.01

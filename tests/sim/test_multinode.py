@@ -1,0 +1,109 @@
+"""Multi-workload cluster scenarios and shared pages."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.multinode import (
+    MultiNodeResult,
+    NodeWorkload,
+    run_multi_workload,
+)
+from repro.trace.compress import compress_references
+
+
+def trace_for(pages: list[int], name: str):
+    addrs = np.repeat(np.array(pages, dtype=np.int64) * 8192, 50)
+    # Touch a couple of words per page visit.
+    addrs = addrs + np.tile(np.arange(50, dtype=np.int64) * 8, len(pages))
+    return compress_references(addrs, name=name)
+
+
+class TestBasics:
+    def test_two_private_workloads(self):
+        a = NodeWorkload("a", trace_for(list(range(10)), "a"),
+                         memory_pages=4)
+        b = NodeWorkload("b", trace_for(list(range(10)), "b"),
+                         memory_pages=4)
+        result = run_multi_workload([a, b])
+        assert set(result.per_node) == {"a", "b"}
+        # Private namespaces: no sharing between identical VPNs.
+        assert result.shared_copies == 0
+        # Warm cache: everything served from remote memory.
+        assert result.cluster_stats["disk_fills"] == 0
+        for res in result.per_node.values():
+            assert res.remote_faults == res.page_faults
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_multi_workload([])
+        trace = trace_for([0], "x")
+        with pytest.raises(ConfigError):
+            run_multi_workload(
+                [NodeWorkload("x", trace, 2)], idle_nodes=0
+            )
+        with pytest.raises(ConfigError):
+            run_multi_workload(
+                [NodeWorkload("x", trace, 2), NodeWorkload("x", trace, 2)]
+            )
+        with pytest.raises(ConfigError):
+            NodeWorkload("x", trace, memory_pages=0)
+
+
+class TestSharedPages:
+    def test_second_workload_copies_from_first(self):
+        # Pages >= 100 are a shared library region both workloads touch.
+        shared = list(range(100, 108))
+        a = NodeWorkload(
+            "a", trace_for(list(range(4)) + shared, "a"),
+            memory_pages=16, shared_from_page=100,
+        )
+        b = NodeWorkload(
+            "b", trace_for(list(range(4)) + shared, "b"),
+            memory_pages=16, shared_from_page=100,
+        )
+        result = run_multi_workload([a, b])
+        # Workload b faults the shared pages while a still holds them
+        # locally: served as copies, counted as remote hits.
+        assert result.shared_copies == len(shared)
+        assert result.cluster_stats["disk_fills"] == 0
+
+    def test_shared_pages_warm_filled_once(self):
+        shared = list(range(100, 110))
+        a = NodeWorkload("a", trace_for(shared, "a"), memory_pages=16,
+                         shared_from_page=100)
+        b = NodeWorkload("b", trace_for(shared, "b"), memory_pages=16,
+                         shared_from_page=100)
+        result = run_multi_workload([a, b], idle_nodes=1,
+                                    idle_frames=len(shared))
+        # 10 frames suffice for both workloads' warm fill: one copy each.
+        assert result.cluster_stats["disk_fills"] == 0
+
+    def test_without_shared_namespace_pages_are_private(self):
+        shared = list(range(100, 108))
+        a = NodeWorkload("a", trace_for(shared, "a"), memory_pages=16)
+        b = NodeWorkload("b", trace_for(shared, "b"), memory_pages=16)
+        result = run_multi_workload([a, b])
+        assert result.shared_copies == 0
+
+
+class TestCapacityInteraction:
+    def test_evictions_flow_to_global_memory_and_back(self):
+        pages = list(range(12)) * 2  # revisit after eviction
+        a = NodeWorkload("a", trace_for(pages, "a"), memory_pages=4)
+        result = run_multi_workload([a], idle_nodes=2)
+        res = result.per_node["a"]
+        assert res.evictions > 0
+        # Refaults after eviction are still remote hits (pages went to
+        # global memory, not disk).
+        assert res.disk_faults == 0
+        assert result.cluster_stats["putpages"] == res.evictions
+
+    def test_total_faults_aggregates(self):
+        a = NodeWorkload("a", trace_for(list(range(5)), "a"), 8)
+        b = NodeWorkload("b", trace_for(list(range(7)), "b"), 8)
+        result = run_multi_workload([a, b])
+        assert result.total_faults == (
+            result.per_node["a"].page_faults
+            + result.per_node["b"].page_faults
+        )

@@ -1,0 +1,165 @@
+"""Replacement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError, UnknownSchemeError
+from repro.sim.replacement import (
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+    policy_names,
+)
+
+ALL = ["lru", "fifo", "clock", "random"]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("name", ALL)
+    def test_insert_contains_len(self, name):
+        policy = make_policy(name)
+        policy.insert(1)
+        policy.insert(2)
+        assert 1 in policy and 2 in policy
+        assert len(policy) == 2
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_duplicate_insert_rejected(self, name):
+        policy = make_policy(name)
+        policy.insert(1)
+        with pytest.raises(SimulationError):
+            policy.insert(1)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_evict_removes(self, name):
+        policy = make_policy(name)
+        policy.insert(1)
+        victim = policy.evict()
+        assert victim == 1
+        assert len(policy) == 0
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_evict_empty_raises(self, name):
+        with pytest.raises(SimulationError):
+            make_policy(name).evict()
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_remove(self, name):
+        policy = make_policy(name)
+        policy.insert(1)
+        policy.remove(1)
+        assert 1 not in policy
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_prefer_filter_respected(self, name):
+        policy = make_policy(name)
+        for page in (1, 2, 3):
+            policy.insert(page)
+        victim = policy.evict(prefer=lambda p: p == 2)
+        assert victim == 2
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_prefer_nothing_falls_back(self, name):
+        policy = make_policy(name)
+        policy.insert(1)
+        victim = policy.evict(prefer=lambda p: False)
+        assert victim == 1
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        policy = LruPolicy()
+        for page in (1, 2, 3):
+            policy.insert(page)
+        policy.touch(1)
+        assert policy.evict() == 2
+
+    def test_touch_order_chain(self):
+        policy = LruPolicy()
+        for page in (1, 2, 3):
+            policy.insert(page)
+        policy.touch(1)
+        policy.touch(2)
+        assert policy.evict() == 3
+        assert policy.evict() == 1
+        assert policy.evict() == 2
+
+
+class TestFifo:
+    def test_touch_does_not_reorder(self):
+        policy = FifoPolicy()
+        for page in (1, 2, 3):
+            policy.insert(page)
+        policy.touch(1)
+        assert policy.evict() == 1
+
+
+class TestClock:
+    def test_second_chance(self):
+        policy = ClockPolicy()
+        for page in (1, 2, 3):
+            policy.insert(page)
+        # All referenced; first sweep clears bits, then evicts 1.
+        assert policy.evict() == 1
+
+    def test_touched_page_survives_when_bits_differ(self):
+        policy = ClockPolicy()
+        for page in (1, 2, 3):
+            policy.insert(page)
+        policy.evict()  # clears every bit, evicts 1; 2 and 3 unreferenced
+        policy.touch(3)
+        # 2 (bit clear) goes before 3 (bit set by the touch).
+        assert policy.evict() == 2
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(seed=42)
+        b = RandomPolicy(seed=42)
+        for page in range(10):
+            a.insert(page)
+            b.insert(page)
+        assert [a.evict() for _ in range(5)] == [
+            b.evict() for _ in range(5)
+        ]
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(policy_names()) == set(ALL)
+
+    def test_unknown(self):
+        with pytest.raises(UnknownSchemeError):
+            make_policy("optimal")
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "touch", "evict"]),
+            st.integers(min_value=0, max_value=12),
+        ),
+        max_size=80,
+    )
+)
+@settings(max_examples=60)
+def test_lru_matches_reference_model(ops):
+    """LruPolicy agrees with a straightforward list-based LRU model."""
+    policy = LruPolicy()
+    model: list[int] = []  # oldest first
+    for op, page in ops:
+        if op == "insert" and page not in model:
+            policy.insert(page)
+            model.append(page)
+        elif op == "touch" and page in model:
+            policy.touch(page)
+            model.remove(page)
+            model.append(page)
+        elif op == "evict" and model:
+            assert policy.evict() == model.pop(0)
+    assert len(policy) == len(model)
+    for page in model:
+        assert page in policy

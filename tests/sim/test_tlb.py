@@ -1,0 +1,63 @@
+"""TLB model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.tlb import TlbModel
+
+
+class TestTlb:
+    def test_first_access_misses(self):
+        tlb = TlbModel(entries=4)
+        assert not tlb.access(1)
+        assert tlb.stats.misses == 1
+
+    def test_repeat_hits(self):
+        tlb = TlbModel(entries=4)
+        tlb.access(1)
+        assert tlb.access(1)
+        assert tlb.stats.misses == 1
+        assert tlb.stats.accesses == 2
+
+    def test_lru_eviction(self):
+        tlb = TlbModel(entries=2)
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(1)  # 2 becomes LRU
+        tlb.access(3)  # evicts 2
+        assert tlb.access(1)
+        assert not tlb.access(2)
+
+    def test_miss_time_accumulates(self):
+        tlb = TlbModel(entries=2, miss_ns=500)
+        tlb.access(1)
+        tlb.access(2)
+        assert tlb.stats.miss_time_ms == pytest.approx(2 * 500e-6)
+
+    def test_miss_rate(self):
+        tlb = TlbModel(entries=4)
+        tlb.access(1)
+        tlb.access(1)
+        assert tlb.stats.miss_rate == pytest.approx(0.5)
+
+    def test_invalidate(self):
+        tlb = TlbModel(entries=4)
+        tlb.access(1)
+        tlb.invalidate(1)
+        assert not tlb.access(1)
+
+    def test_invalidate_absent_ok(self):
+        TlbModel(entries=4).invalidate(99)
+
+    def test_coverage(self):
+        # The paper's TLB-coverage argument: 32 entries cover 256 KB of
+        # 8K pages but only 32 KB of 1K pages.
+        tlb = TlbModel(entries=32)
+        assert tlb.coverage_bytes(8192) == 256 * 1024
+        assert tlb.coverage_bytes(1024) == 32 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TlbModel(entries=0)
+        with pytest.raises(ConfigError):
+            TlbModel(entries=4, miss_ns=-1)

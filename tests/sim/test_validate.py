@@ -1,0 +1,48 @@
+"""The Section 3.2 simulator-validation pass."""
+
+import pytest
+
+from repro.sim.validate import (
+    run_micro_checks,
+    validate_simulator,
+)
+from repro.trace.synth.apps import build_app_trace
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validate_simulator(build_app_trace("modula3"))
+
+
+class TestMicroChecks:
+    def test_isolated_fault_costs_exactly_the_model_latency(self):
+        for check in run_micro_checks():
+            assert check.simulated_ms == pytest.approx(
+                check.expected_ms
+            ), (check.scheme, check.subpage_bytes)
+
+    def test_covers_all_paper_sizes_and_schemes(self):
+        checks = run_micro_checks()
+        sizes = {c.subpage_bytes for c in checks if c.scheme == "eager"}
+        assert sizes == {256, 512, 1024, 2048, 4096}
+        assert {c.scheme for c in checks} == {
+            "eager", "pipelined", "lazy", "fullpage",
+        }
+
+
+class TestProtectionAgreement:
+    def test_improvements_agree_within_two_points(self, report):
+        # The paper: "Both quantitative improvement for eager fullpage
+        # fetch and the trend with subpage size agreed".
+        assert report.worst_improvement_gap < 0.02
+
+    def test_same_optimal_subpage_size(self, report):
+        assert report.optimal_sizes_agree
+
+    def test_emulation_overhead_small(self, report):
+        # Section 3.1.1: "emulation slowed execution by less than 1%".
+        for agreement in report.agreements:
+            assert agreement.emulation_overhead_fraction < 0.02
+
+    def test_report_passes(self, report):
+        assert report.passed()

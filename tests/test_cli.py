@@ -1,0 +1,40 @@
+"""The ``python -m repro.experiments`` command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig03" in out
+        assert "tab01" in out
+        assert len(out.strip().splitlines()) == 13
+
+    def test_run_one(self, capsys):
+        assert main(["tab01"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "fast load" in out
+
+    def test_run_several(self, capsys):
+        assert main(["tab01", "fig01"]) == 0
+        out = capsys.readouterr().out
+        assert "PALcode" in out
+        assert "Figure 1" in out
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_experiment(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["fig99"])
+
+    def test_parser_help_mentions_paper(self):
+        parser = build_parser()
+        assert "Subpages" in parser.description

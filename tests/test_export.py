@@ -1,0 +1,63 @@
+"""CSV export of experiment data."""
+
+import csv
+import io
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import EXPERIMENTS
+from repro.experiments.export import export_csv, exportable_experiments
+
+
+def parse(text: str) -> list[list[str]]:
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestExporters:
+    def test_every_experiment_has_an_exporter(self):
+        assert set(exportable_experiments()) == set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigError):
+            export_csv("fig99", None)
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+    def test_export_is_wellformed_csv(self, exp_id):
+        result = EXPERIMENTS[exp_id].run()
+        files = export_csv(exp_id, result)
+        assert files
+        for name, text in files.items():
+            assert name.endswith(".csv")
+            rows = parse(text)
+            assert len(rows) >= 2  # header + at least one data row
+            width = len(rows[0])
+            assert all(len(r) == width for r in rows)
+
+    def test_fig09_contents(self):
+        result = EXPERIMENTS["fig09"].run()
+        files = export_csv("fig09", result)
+        rows = parse(files["fig09_allapps.csv"])
+        assert rows[0][0] == "app"
+        apps = {r[0] for r in rows[1:]}
+        assert apps == {"modula3", "ld", "atom", "render", "gdb"}
+
+    def test_fig07_probabilities_sum_to_one(self):
+        result = EXPERIMENTS["fig07"].run()
+        rows = parse(export_csv("fig07", result)["fig07_distances.csv"])
+        by_size: dict[str, float] = {}
+        for size, _, probability in rows[1:]:
+            by_size[size] = by_size.get(size, 0.0) + float(probability)
+        for total in by_size.values():
+            assert total == pytest.approx(1.0)
+
+
+class TestCliCsv:
+    def test_csv_flag_writes_files(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["tab01", "--csv", str(tmp_path)]) == 0
+        written = list(tmp_path.glob("*.csv"))
+        assert len(written) == 1
+        assert written[0].name == "tab01_palcode.csv"
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Integration invariants across the full app x scheme matrix.
+
+Every application under every scheme must satisfy the structural
+properties the model guarantees — per-fault waiting bounds, minimum fault
+spacing, component consistency.  These are paper-grounded invariants
+(Figure 5's plateau bounds, the sequential-faulting property), checked on
+the real calibrated runs shared with the experiment suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fault import FaultKind
+from repro.experiments import common
+from repro.net.latency import CalibratedLatencyModel
+from repro.trace.synth.apps import app_names
+
+MODEL = CalibratedLatencyModel()
+SCHEMES = ("fullpage", "eager", "pipelined")
+
+
+def run_for(app: str, scheme: str):
+    subpage = 8192 if scheme == "fullpage" else 1024
+    return common.run_cached(
+        app, 0.5, scheme=scheme, subpage_bytes=subpage
+    )
+
+
+@pytest.mark.parametrize("app", app_names())
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestMatrixInvariants:
+    def test_waiting_bounded_by_latency_plateaus(self, app, scheme):
+        # Figure 5's structure: no fault waits less than its initial
+        # transfer latency; under eager/pipelined none waits meaningfully
+        # longer than the fullpage latency (congestion can add a little).
+        result = run_for(app, scheme)
+        full = MODEL.fullpage_latency_ms()
+        floor = (
+            full if scheme == "fullpage"
+            else MODEL.subpage_latency_ms(1024)
+        )
+        waits = result.waiting_times_ms()
+        assert waits.min() >= floor - 1e-9
+        if scheme != "fullpage":
+            assert waits.max() <= full * 1.25
+
+    def test_fault_spacing_at_least_stall(self, app, scheme):
+        # The simulated program is sequential: two faults are separated
+        # by at least the first one's blocking stall.
+        result = run_for(app, scheme)
+        records = [
+            r for r in result.fault_records
+            if r.kind is not FaultKind.SUBPAGE
+        ]
+        times = np.array([r.time_ms for r in records])
+        stalls = np.array([r.sp_latency_ms for r in records])
+        gaps = np.diff(times)
+        assert np.all(gaps >= stalls[:-1] - 1e-9)
+
+    def test_components_consistent(self, app, scheme):
+        result = run_for(app, scheme)
+        c = result.components
+        assert c.exec_ms == pytest.approx(
+            result.num_references * result.event_cost_ms
+        )
+        assert c.sp_latency_ms == pytest.approx(
+            sum(r.sp_latency_ms for r in result.fault_records)
+        )
+        assert result.total_ms > 0
+
+    def test_windows_inside_run(self, app, scheme):
+        result = run_for(app, scheme)
+        for record in result.fault_records:
+            assert record.window_start_ms >= record.time_ms
+            assert record.window_end_ms >= record.window_start_ms
+            for start, end in record.page_wait_intervals:
+                assert record.window_start_ms - 1e-9 <= start <= end
+
+    def test_scheme_specific_page_wait(self, app, scheme):
+        result = run_for(app, scheme)
+        if scheme == "fullpage":
+            # Whole pages arrive atomically: nothing to wait on later.
+            assert result.components.page_wait_ms == 0.0
+        else:
+            # Subpage schemes trade initial latency for page_wait; the
+            # trade must at least show up somewhere on a real workload.
+            assert result.components.page_wait_ms >= 0.0
+            assert (
+                result.components.sp_latency_ms
+                < run_for(app, "fullpage").components.sp_latency_ms
+            )

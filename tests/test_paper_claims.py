@@ -1,0 +1,103 @@
+"""The paper's headline claims (abstract + Section 5), end to end.
+
+Each test states a sentence from the paper and checks the reproduction's
+equivalent, using the shared cached runs.
+"""
+
+import pytest
+
+from repro.experiments import common
+from repro.net.latency import CalibratedLatencyModel
+
+
+class TestAbstractClaims:
+    def test_prototype_1k_fault_in_half_ms_a_third_of_fullpage(self):
+        # "our prototype is able to satisfy a fault on a 1K subpage
+        # stored in remote memory in 0.5 milliseconds, one third the
+        # time of a full page."
+        model = CalibratedLatencyModel()
+        sub = model.subpage_latency_ms(1024)
+        assert sub == pytest.approx(0.52, abs=0.01)
+        assert sub / model.fullpage_latency_ms() == pytest.approx(
+            1 / 3, abs=0.05
+        )
+
+    def test_up_to_1_8x_speedup_with_1k_subpages(self):
+        # "memory-intensive applications execute up to 1.8 times faster
+        # when executing with 1K-byte subpages ... compared to ... full
+        # 8K-byte pages" — the best case across apps/configs.
+        best = 0.0
+        for app in ("modula3", "render", "gdb"):
+            for fraction in (0.5, 0.25):
+                full = common.fullpage_run(app, fraction)
+                piped = common.run_cached(
+                    app, fraction, scheme="pipelined", subpage_bytes=1024
+                )
+                best = max(best, piped.speedup_vs(full))
+        assert 1.5 < best < 2.6
+
+    def test_up_to_4x_faster_than_disk(self):
+        # "Those same applications using 1K subpages execute up to 4
+        # times faster than they would using the disk for backing store."
+        best = 0.0
+        for app in ("modula3", "render", "gdb"):
+            disk = common.disk_run(app, 0.5)
+            eager = common.run_cached(
+                app, 0.5, scheme="eager", subpage_bytes=1024
+            )
+            best = max(best, eager.speedup_vs(disk))
+        assert 3.0 < best < 8.0
+
+
+class TestSection5Claims:
+    def test_worst_application_still_gains_20_percent(self):
+        # "Our 'worst' application was able to decrease execution time
+        # by 20% with 1K subpages relative to full 8K pages."
+        worst = min(
+            common.run_cached(
+                app, 0.5, scheme="eager", subpage_bytes=1024
+            ).improvement_vs(common.fullpage_run(app, 0.5))
+            for app in ("modula3", "ld", "atom", "render", "gdb")
+        )
+        assert 0.15 < worst < 0.30
+
+    def test_prototype_mode_render_2k_gains_about_24_percent(self):
+        # "Despite the emulation, our prototype achieves speedup, e.g.,
+        # 24% performance improvement over fullpages for eager fullpage
+        # fetch with 2K subpages on the Render application."
+        full = common.run_cached(
+            "render", 0.5, scheme="fullpage", subpage_bytes=8192,
+            protection="palcode",
+        )
+        eager2k = common.run_cached(
+            "render", 0.5, scheme="eager", subpage_bytes=2048,
+            protection="palcode",
+        )
+        improvement = eager2k.improvement_vs(full)
+        assert 0.15 < improvement < 0.45
+
+    def test_nfs_disk_7_to_28x_slower_than_1k_subpage_fault(self):
+        # "This is between 7 and 28 times faster than a fault serviced
+        # from disk by the NFS file system."
+        from repro.disk.model import DiskAccessKind
+        from repro.disk.presets import NFS_DISK
+
+        sub = CalibratedLatencyModel().subpage_latency_ms(1024)
+        seq = NFS_DISK.access_latency_ms(DiskAccessKind.SEQUENTIAL)
+        rand = NFS_DISK.access_latency_ms(DiskAccessKind.RANDOM)
+        assert 5 < seq / sub < 15
+        assert 20 < rand / sub < 32
+
+    def test_most_benefit_from_io_overlap(self):
+        # "A detailed examination of the behavior of our applications
+        # shows that most of the benefit comes from I/O overlap."
+        from repro.analysis.overlap import attribute_overlap
+
+        shares = [
+            attribute_overlap(
+                common.run_cached(app, 0.5, scheme="eager",
+                                  subpage_bytes=1024)
+            ).io_share
+            for app in ("modula3", "ld", "gdb")
+        ]
+        assert sum(shares) / len(shares) > 0.5

@@ -1,0 +1,91 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_ns_to_ms(self):
+        assert units.ns(1_000_000) == pytest.approx(1.0)
+
+    def test_us_to_ms(self):
+        assert units.us(1500) == pytest.approx(1.5)
+
+    def test_ms_identity(self):
+        assert units.ms(2.5) == 2.5
+
+    def test_seconds_to_ms(self):
+        assert units.seconds(2) == pytest.approx(2000.0)
+
+    def test_to_us_roundtrip(self):
+        assert units.to_us(units.us(68)) == pytest.approx(68)
+
+    def test_to_seconds_roundtrip(self):
+        assert units.to_seconds(units.seconds(3.5)) == pytest.approx(3.5)
+
+    def test_kb(self):
+        assert units.KB(8) == 8192
+
+    def test_mb(self):
+        assert units.MB(2) == 2 * 1024 * 1024
+
+
+class TestWireTime:
+    def test_mbit_conversion(self):
+        # 8 Mb/s == 1 MB/s == 1000 bytes per ms.
+        assert units.mbit_per_s_to_bytes_per_ms(8.0) == pytest.approx(1000.0)
+
+    def test_wire_time_8k_at_155mbit(self):
+        # 8192 bytes at 155 Mb/s is ~0.42 ms — the scale of the paper's
+        # on-the-wire time for a full page.
+        t = units.wire_time_ms(8192, 155.0)
+        assert 0.40 < t < 0.45
+
+    def test_wire_time_zero_bytes(self):
+        assert units.wire_time_ms(0, 155.0) == 0.0
+
+    def test_wire_time_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            units.wire_time_ms(100, 0.0)
+
+
+class TestEvents:
+    def test_events_to_ms_default(self):
+        # 83,333 events at 12 ns is one millisecond (paper Section 3.2).
+        assert units.events_to_ms(1e6 / 12) == pytest.approx(1.0)
+
+    def test_ms_to_events_roundtrip(self):
+        assert units.ms_to_events(units.events_to_ms(50_000)) == (
+            pytest.approx(50_000)
+        )
+
+    def test_events_per_ms_constant(self):
+        assert units.DEFAULT_EVENTS_PER_MS == pytest.approx(83333.33, rel=1e-3)
+
+
+class TestCycles:
+    def test_cycles_at_266mhz(self):
+        # 52 cycles at 266 MHz is ~195 ns (Table 1's fast load).
+        assert units.cycles_to_ms(52) * 1e6 == pytest.approx(195.5, abs=1.0)
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_ms(10, 0)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 256, 1024, 8192, 1 << 20])
+    def test_accepts_powers(self, value):
+        assert units.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 255, 1000, 8193])
+    def test_rejects_non_powers(self, value):
+        assert not units.is_power_of_two(value)
+
+    def test_paper_subpage_sizes_are_powers(self):
+        for size in units.PAPER_SUBPAGE_SIZES:
+            assert units.is_power_of_two(size)
+            assert size < units.FULL_PAGE_BYTES

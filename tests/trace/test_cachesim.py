@@ -1,0 +1,134 @@
+"""Two-level cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.cachesim import (
+    ALPHA250_L1,
+    ALPHA250_L2,
+    CacheConfig,
+    TwoLevelCache,
+)
+from repro.trace.calibrate import (
+    PAPER_TIMINGS,
+    average_event_ns,
+    event_ns_from_stats,
+    paper_event_ns,
+)
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cfg = CacheConfig(size_bytes=1024, line_bytes=32, associativity=2)
+        assert cfg.num_lines == 32
+        assert cfg.num_sets == 16
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1024, associativity=0)
+
+    def test_alpha_presets(self):
+        assert ALPHA250_L1.size_bytes == 16 * 1024
+        assert ALPHA250_L2.size_bytes == 2 * 1024 * 1024
+
+
+class TestTwoLevelCache:
+    def test_first_access_misses_everywhere(self):
+        cache = TwoLevelCache()
+        assert cache.access(0) == "mem"
+
+    def test_second_access_hits_l1(self):
+        cache = TwoLevelCache()
+        cache.access(0)
+        assert cache.access(0) == "l1"
+
+    def test_same_line_hits(self):
+        cache = TwoLevelCache()
+        cache.access(0)
+        assert cache.access(31) == "l1"  # same 32-byte line
+
+    def test_l1_eviction_falls_to_l2(self):
+        l1 = CacheConfig(size_bytes=64, line_bytes=32, associativity=1)
+        l2 = CacheConfig(size_bytes=4096, line_bytes=32, associativity=1)
+        cache = TwoLevelCache(l1, l2)
+        cache.access(0)
+        cache.access(64)  # maps to the same L1 set (2 sets), evicts line 0
+        assert cache.access(0) == "l2"
+
+    def test_lru_within_set(self):
+        l1 = CacheConfig(size_bytes=128, line_bytes=32, associativity=2)
+        l2 = CacheConfig(size_bytes=4096, line_bytes=32, associativity=2)
+        cache = TwoLevelCache(l1, l2)
+        cache.access(0)       # set 0
+        cache.access(128)     # set 0
+        cache.access(0)       # touch 0: now 128 is LRU
+        cache.access(256)     # evicts 128
+        assert cache.access(0) == "l1"
+
+    def test_rejects_l2_smaller_than_l1(self):
+        with pytest.raises(ConfigError):
+            TwoLevelCache(
+                CacheConfig(size_bytes=4096),
+                CacheConfig(size_bytes=1024),
+            )
+
+    def test_run_counts_accesses(self):
+        cache = TwoLevelCache()
+        stats = cache.run(np.arange(0, 32 * 100, 32))
+        assert stats.accesses == 100
+
+    def test_run_sampling(self):
+        cache = TwoLevelCache()
+        stats = cache.run(np.arange(0, 32 * 100, 32), sample_stride=10)
+        assert stats.accesses == 10
+
+    def test_run_rejects_bad_stride(self):
+        with pytest.raises(ConfigError):
+            TwoLevelCache().run(np.array([0]), sample_stride=0)
+
+    def test_miss_rates_consistent(self):
+        cache = TwoLevelCache()
+        rngs = np.random.default_rng(0)
+        cache.run(rngs.integers(0, 1 << 26, size=5000))
+        s = cache.stats
+        assert 0.0 <= s.l1_miss_rate <= 1.0
+        assert 0.0 <= s.global_miss_rate <= s.l1_miss_rate
+
+
+class TestCalibration:
+    def test_tight_loop_is_fast(self):
+        # A tiny hot loop: nearly all L1 hits, so ~pipeline + L1 cost.
+        addrs = np.tile(np.arange(0, 512, 8), 200)
+        ns = average_event_ns(addrs)
+        assert ns < 25
+
+    def test_random_huge_footprint_is_slow(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 30, size=20000)
+        ns = average_event_ns(addrs)
+        assert ns > 100  # mostly memory accesses
+
+    def test_mixed_workload_lands_near_paper_value(self):
+        # ~99.7% hot-loop references + 0.3% cold random: the cache-warm
+        # regime the paper calibrated to ~12 ns per event.
+        rng = np.random.default_rng(0)
+        hot = np.tile(np.arange(0, 8192, 8), 100)
+        trace = hot.copy()
+        cold_idx = rng.choice(trace.size, size=trace.size * 3 // 1000)
+        trace[cold_idx] = rng.integers(0, 1 << 30, size=cold_idx.size)
+        ns = average_event_ns(trace)
+        assert 10 < ns < 15
+
+    def test_paper_event_ns(self):
+        assert paper_event_ns() == 12.0
+
+    def test_event_ns_from_empty_stats(self):
+        from repro.trace.cachesim import CacheStats
+
+        ns = event_ns_from_stats(CacheStats())
+        assert ns == PAPER_TIMINGS.pipeline_ns + PAPER_TIMINGS.l1_hit_ns

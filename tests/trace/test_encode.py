@@ -1,0 +1,58 @@
+"""Trace persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.encode import load_trace, save_trace
+
+from tests.conftest import make_trace
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_arrays(self, tmp_path):
+        trace = make_trace([0, 0, 256, 8192], writes=[0, 0, 1, 0])
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.pages, trace.pages)
+        assert np.array_equal(loaded.blocks, trace.blocks)
+        assert np.array_equal(loaded.counts, trace.counts)
+        assert np.array_equal(loaded.writes, trace.writes)
+
+    def test_roundtrip_preserves_metadata(self, tmp_path):
+        trace = make_trace([0], dilation=4.5, name="myapp")
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        assert loaded.name == "myapp"
+        assert loaded.dilation == 4.5
+        assert loaded.page_bytes == trace.page_bytes
+        assert loaded.block_bytes == trace.block_bytes
+
+    def test_extension_added(self, tmp_path):
+        path = save_trace(make_trace([0]), tmp_path / "t")
+        assert path.suffix == ".npz"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_trace(make_trace([0]), tmp_path / "a" / "b" / "t.npz")
+        assert path.exists()
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        loaded = load_trace(save_trace(make_trace([]), tmp_path / "e.npz"))
+        assert loaded.num_runs == 0
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a trace at all")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_missing_arrays(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, pages=np.zeros(1))
+        with pytest.raises(TraceFormatError, match="missing"):
+            load_trace(path)

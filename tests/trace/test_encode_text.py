@@ -1,0 +1,75 @@
+"""Text (TSV) trace format round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.encode import load_trace_text, save_trace_text
+
+from tests.conftest import make_trace
+
+
+class TestTextRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace(
+            [0, 0, 256, 8192, 8192], writes=[0, 0, 1, 0, 0],
+            dilation=2.5, name="texty",
+        )
+        path = save_trace_text(trace, tmp_path / "t.tsv")
+        loaded = load_trace_text(path)
+        assert np.array_equal(loaded.pages, trace.pages)
+        assert np.array_equal(loaded.blocks, trace.blocks)
+        assert np.array_equal(loaded.counts, trace.counts)
+        assert np.array_equal(loaded.writes, trace.writes)
+        assert loaded.name == "texty"
+        assert loaded.dilation == 2.5
+
+    def test_file_is_human_readable(self, tmp_path):
+        trace = make_trace([0, 256])
+        path = save_trace_text(trace, tmp_path / "t.tsv")
+        text = path.read_text()
+        assert text.startswith("# repro-trace v1")
+        assert "page\tblock\tcount\twrite" in text
+
+    def test_empty_trace(self, tmp_path):
+        path = save_trace_text(make_trace([]), tmp_path / "e.tsv")
+        assert load_trace_text(path).num_runs == 0
+
+    def test_agrees_with_npz_format(self, tmp_path):
+        from repro.trace.encode import load_trace, save_trace
+
+        trace = make_trace([0, 512, 8192, 0])
+        a = load_trace(save_trace(trace, tmp_path / "a.npz"))
+        b = load_trace_text(save_trace_text(trace, tmp_path / "b.tsv"))
+        assert np.array_equal(a.pages, b.pages)
+        assert np.array_equal(a.counts, b.counts)
+
+
+class TestTextErrors:
+    def test_missing(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_trace_text(tmp_path / "nope.tsv")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            load_trace_text(path)
+
+    def test_malformed_row(self, tmp_path):
+        trace = make_trace([0])
+        path = save_trace_text(trace, tmp_path / "t.tsv")
+        path.write_text(path.read_text() + "oops\trow\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_text(path)
+
+    def test_bad_columns(self, tmp_path):
+        path = tmp_path / "cols.tsv"
+        path.write_text(
+            "# repro-trace v1\n"
+            '{"page_bytes": 8192, "block_bytes": 256, "dilation": 1.0, '
+            '"name": "x"}\n'
+            "a\tb\n"
+        )
+        with pytest.raises(TraceFormatError, match="column"):
+            load_trace_text(path)

@@ -1,0 +1,97 @@
+"""MemoryRef and address arithmetic."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    AccessType,
+    MemoryRef,
+    block_of,
+    page_of,
+    refs_from_addresses,
+    subpage_of_block,
+)
+
+
+class TestMemoryRef:
+    def test_default_is_read(self):
+        ref = MemoryRef(0x1000)
+        assert ref.access is AccessType.READ
+        assert not ref.is_write
+
+    def test_write(self):
+        assert MemoryRef(0x1000, AccessType.WRITE).is_write
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(TraceError):
+            MemoryRef(-1)
+
+    def test_page_and_block(self):
+        ref = MemoryRef(8192 * 3 + 256 * 5 + 17)
+        assert ref.page() == 3
+        assert ref.block() == 5
+
+    def test_frozen(self):
+        ref = MemoryRef(0)
+        with pytest.raises(AttributeError):
+            ref.address = 5
+
+
+class TestPageOf:
+    def test_zero(self):
+        assert page_of(0) == 0
+
+    def test_boundary(self):
+        assert page_of(8191) == 0
+        assert page_of(8192) == 1
+
+    def test_custom_page_size(self):
+        assert page_of(4096, page_bytes=1024) == 4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(TraceError):
+            page_of(100, page_bytes=3000)
+
+
+class TestBlockOf:
+    def test_within_page(self):
+        # Block index is relative to the page, not global.
+        assert block_of(8192 + 256 * 7 + 3) == 7
+
+    def test_last_block(self):
+        assert block_of(8191) == 31
+
+    def test_rejects_block_larger_than_page(self):
+        with pytest.raises(TraceError):
+            block_of(0, block_bytes=16384, page_bytes=8192)
+
+
+class TestSubpageOfBlock:
+    def test_identity_at_block_granularity(self):
+        assert subpage_of_block(13, 256) == 13
+
+    def test_1k_subpages(self):
+        # 1K subpage = 4 blocks of 256.
+        assert subpage_of_block(0, 1024) == 0
+        assert subpage_of_block(3, 1024) == 0
+        assert subpage_of_block(4, 1024) == 1
+        assert subpage_of_block(31, 1024) == 7
+
+    def test_rejects_subpage_below_block(self):
+        with pytest.raises(TraceError):
+            subpage_of_block(0, 128)
+
+
+class TestRefsFromAddresses:
+    def test_without_writes(self):
+        refs = list(refs_from_addresses([1, 2, 3]))
+        assert [r.address for r in refs] == [1, 2, 3]
+        assert all(not r.is_write for r in refs)
+
+    def test_with_writes(self):
+        refs = list(refs_from_addresses([1, 2], [False, True]))
+        assert [r.is_write for r in refs] == [False, True]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            list(refs_from_addresses([1, 2], [True]))

@@ -1,0 +1,153 @@
+"""Access-pattern generators: bounds, shapes, and locality properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.trace.synth.patterns import (
+    HotCold,
+    PointerChase,
+    RandomUniform,
+    Sequential,
+    Strided,
+    ZipfPages,
+)
+from repro.trace.synth.regions import Region
+
+REGION = Region("r", base=8192 * 16, size=8192 * 32)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+ALL_PATTERNS = [
+    Sequential(),
+    Sequential(stride=64, start_fraction=0.5),
+    Strided(stride=1024),
+    RandomUniform(),
+    RandomUniform(run_words=1),
+    ZipfPages(),
+    ZipfPages(alpha=0.0),
+    HotCold(),
+    HotCold(hot_fraction=1.0),
+    PointerChase(),
+    PointerChase(node_bytes=8, touches_per_node=1),
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    def test_addresses_stay_in_region(self, pattern):
+        addrs = pattern.generate(REGION, 5000, rng())
+        assert addrs.min() >= REGION.base
+        assert addrs.max() < REGION.end
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    def test_exact_count(self, pattern):
+        assert pattern.generate(REGION, 777, rng()).shape == (777,)
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    def test_zero_count(self, pattern):
+        assert pattern.generate(REGION, 0, rng()).shape == (0,)
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    def test_deterministic_per_seed(self, pattern):
+        a = pattern.generate(REGION, 500, rng(7))
+        b = pattern.generate(REGION, 500, rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestSequential:
+    def test_consecutive_words(self):
+        addrs = Sequential(stride=8).generate(REGION, 10, rng())
+        assert list(np.diff(addrs)) == [8] * 9
+
+    def test_wraps_around(self):
+        slots = REGION.size // 8
+        addrs = Sequential(stride=8).generate(REGION, slots + 5, rng())
+        assert addrs[slots] == REGION.base
+
+    def test_start_fraction(self):
+        addrs = Sequential(stride=8, start_fraction=0.5).generate(
+            REGION, 1, rng()
+        )
+        assert addrs[0] == REGION.base + REGION.size // 2
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ConfigError):
+            Sequential(stride=0)
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(ConfigError):
+            Sequential(start_fraction=1.0)
+
+
+class TestZipf:
+    def test_skew_concentrates_mass(self):
+        addrs = ZipfPages(alpha=1.5, shuffle_ranks=False).generate(
+            REGION, 20000, rng()
+        )
+        pages = (addrs - REGION.base) // 8192
+        top_share = np.mean(pages == 0)
+        assert top_share > 0.3  # rank-0 page dominates at alpha=1.5
+
+    def test_alpha_zero_is_roughly_uniform(self):
+        addrs = ZipfPages(alpha=0.0).generate(REGION, 50000, rng())
+        pages = (addrs - REGION.base) // 8192
+        counts = np.bincount(pages, minlength=32)
+        assert counts.min() > 0.4 * counts.mean()
+
+    def test_runs_are_sequential_words(self):
+        addrs = ZipfPages(run_words=16).generate(REGION, 16, rng())
+        assert list(np.diff(addrs[:16]))[:14].count(8) >= 13
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ConfigError):
+            ZipfPages(alpha=-1)
+
+
+class TestHotCold:
+    def test_hot_set_absorbs_most(self):
+        pattern = HotCold(hot_fraction=0.1, hot_prob=0.9, run_words=1)
+        addrs = pattern.generate(REGION, 50000, rng())
+        hot_end = REGION.base + int(REGION.size * 0.1)
+        hot_share = np.mean(addrs < hot_end)
+        assert 0.85 < hot_share < 0.95
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            HotCold(hot_fraction=0.0)
+
+
+class TestPointerChase:
+    def test_visits_many_distinct_nodes(self):
+        pattern = PointerChase(node_bytes=64, touches_per_node=1)
+        addrs = pattern.generate(REGION, 4000, rng())
+        nodes = np.unique((addrs - REGION.base) // 64)
+        assert nodes.size == 4000  # a permutation: all distinct
+
+    def test_poor_page_locality(self):
+        pattern = PointerChase(node_bytes=64, touches_per_node=1)
+        addrs = pattern.generate(REGION, 4000, rng())
+        pages = (addrs - REGION.base) // 8192
+        same_page = np.mean(pages[1:] == pages[:-1])
+        assert same_page < 0.2
+
+
+class TestStrided:
+    def test_stride_respected(self):
+        addrs = Strided(stride=2048).generate(REGION, 4, rng())
+        assert addrs[1] - addrs[0] == 2048
+
+
+@given(
+    n=st.integers(min_value=1, max_value=2000),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30)
+def test_random_uniform_word_aligned(n, seed):
+    addrs = RandomUniform(run_words=1).generate(REGION, n, rng(seed))
+    assert np.all(addrs % 8 == 0)

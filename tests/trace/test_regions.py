@@ -1,0 +1,87 @@
+"""Region layout."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.synth.regions import Region, RegionAllocator
+
+
+class TestRegion:
+    def test_end(self):
+        assert Region("r", 100, 50).end == 150
+
+    def test_contains(self):
+        r = Region("r", 100, 50)
+        assert r.contains(100)
+        assert r.contains(149)
+        assert not r.contains(150)
+        assert not r.contains(99)
+
+    def test_pages_rounds_up(self):
+        assert Region("r", 0, 8193).pages() == 2
+
+    def test_overlaps(self):
+        a = Region("a", 0, 100)
+        assert a.overlaps(Region("b", 50, 100))
+        assert not a.overlaps(Region("c", 100, 10))
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigError):
+            Region("r", 0, 0)
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(ConfigError):
+            Region("r", -1, 10)
+
+
+class TestRegionAllocator:
+    def test_page_aligned(self):
+        alloc = RegionAllocator()
+        r = alloc.allocate("a", 100)
+        assert r.base % 8192 == 0
+        assert r.size == 8192  # rounded up to a page
+
+    def test_regions_never_overlap(self):
+        alloc = RegionAllocator()
+        regions = [alloc.allocate(f"r{i}", 1000 * (i + 1)) for i in range(20)]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_guard_gap_between_regions(self):
+        alloc = RegionAllocator(guard_pages=4)
+        a = alloc.allocate("a", 8192)
+        b = alloc.allocate("b", 8192)
+        assert b.base - a.end == 4 * 8192
+
+    def test_regions_never_share_a_page(self):
+        alloc = RegionAllocator()
+        a = alloc.allocate("a", 100)
+        b = alloc.allocate("b", 100)
+        assert a.end // 8192 < b.base // 8192
+
+    def test_allocate_pages(self):
+        alloc = RegionAllocator()
+        assert alloc.allocate_pages("a", 7).pages() == 7
+
+    def test_total_pages(self):
+        alloc = RegionAllocator()
+        alloc.allocate_pages("a", 3)
+        alloc.allocate_pages("b", 5)
+        assert alloc.total_pages() == 8
+
+    def test_tracks_regions(self):
+        alloc = RegionAllocator()
+        alloc.allocate("x", 10)
+        assert [r.name for r in alloc.regions] == ["x"]
+
+    def test_rejects_bad_guard(self):
+        with pytest.raises(ConfigError):
+            RegionAllocator(guard_pages=0)
+
+    def test_rejects_bad_sizes(self):
+        alloc = RegionAllocator()
+        with pytest.raises(ConfigError):
+            alloc.allocate("a", 0)
+        with pytest.raises(ConfigError):
+            alloc.allocate_pages("a", 0)

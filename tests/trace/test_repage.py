@@ -1,0 +1,78 @@
+"""Re-deriving traces at a different page size (small-pages support)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+
+from tests.conftest import make_trace, page_addr
+
+
+class TestWithPageSize:
+    def test_identity(self):
+        trace = make_trace([0, 8192, 256])
+        again = trace.with_page_size(8192)
+        assert np.array_equal(again.pages, trace.pages)
+        assert np.array_equal(again.blocks, trace.blocks)
+
+    def test_smaller_pages(self):
+        # Address at 8K-page 1, offset 1024 == 1K-page 9, block 0.
+        trace = make_trace([page_addr(1, 1024)])
+        small = trace.with_page_size(1024)
+        assert small.pages[0] == 9
+        assert small.blocks[0] == 0
+        assert small.page_bytes == 1024
+        assert small.blocks_per_page == 4
+
+    def test_larger_pages(self):
+        trace = make_trace([page_addr(3, 256)])
+        big = trace.with_page_size(16384)
+        assert big.pages[0] == 1
+        assert big.blocks[0] == (3 % 2) * 32 + 1
+
+    def test_counts_and_writes_preserved(self):
+        trace = make_trace([0, 0, 8192], writes=[1, 1, 0])
+        small = trace.with_page_size(1024)
+        assert np.array_equal(small.counts, trace.counts)
+        assert np.array_equal(small.writes, trace.writes)
+
+    def test_footprint_grows_with_smaller_pages(self):
+        addrs = [page_addr(0, off) for off in range(0, 8192, 512)]
+        trace = make_trace(addrs)
+        assert trace.footprint_pages() == 1
+        assert trace.with_page_size(1024).footprint_pages() == 8
+
+    def test_rejects_below_block_granularity(self):
+        with pytest.raises(TraceError):
+            make_trace([0]).with_page_size(128)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(TraceError):
+            make_trace([0]).with_page_size(3000)
+
+
+@given(
+    addrs=st.lists(
+        st.integers(min_value=0, max_value=64 * 8192 - 1),
+        min_size=1, max_size=200,
+    ),
+    new_page=st.sampled_from([256, 1024, 4096, 8192, 16384]),
+)
+@settings(max_examples=60)
+def test_repage_preserves_global_block_stream(addrs, new_page):
+    """Changing the page size never changes which 256B block each run
+    refers to — only how blocks are grouped into pages."""
+    trace = make_trace(addrs)
+    repaged = trace.with_page_size(new_page)
+    original = (
+        trace.pages.astype(np.int64) * trace.blocks_per_page
+        + trace.blocks
+    )
+    derived = (
+        repaged.pages.astype(np.int64) * repaged.blocks_per_page
+        + repaged.blocks
+    )
+    assert np.array_equal(original, derived)
+    assert repaged.num_references == trace.num_references

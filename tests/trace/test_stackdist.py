@@ -1,0 +1,118 @@
+"""Stack-distance workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.synth.stackdist import (
+    StackDistanceSpec,
+    generate_stack_distance_trace,
+    measure_stack_distances,
+)
+
+
+def spec(**kwargs) -> StackDistanceSpec:
+    base = dict(refs=50_000)
+    base.update(kwargs)
+    return StackDistanceSpec(**base)
+
+
+class TestGeneration:
+    def test_reference_count(self):
+        trace = generate_stack_distance_trace(spec(refs=12_345))
+        assert trace.num_references == 12_345
+
+    def test_deterministic(self):
+        a = generate_stack_distance_trace(spec(), seed=3)
+        b = generate_stack_distance_trace(spec(), seed=3)
+        assert np.array_equal(a.pages, b.pages)
+
+    def test_footprint_bounded_by_max_pages(self):
+        trace = generate_stack_distance_trace(
+            spec(max_pages=40, new_page_prob=0.5)
+        )
+        assert trace.footprint_pages() <= 40
+
+    def test_higher_theta_means_tighter_locality(self):
+        loose = generate_stack_distance_trace(spec(theta=0.1))
+        tight = generate_stack_distance_trace(spec(theta=1.5))
+
+        def near_top_share(trace):
+            # Depth 0 is invisible to the measurement (consecutive visits
+            # to the same page merge), so compare shallow reuse (<= 3).
+            hist = measure_stack_distances(trace)
+            total = sum(c for d, c in hist.items() if d >= 0)
+            near = sum(c for d, c in hist.items() if 0 <= d <= 3)
+            return 0.0 if not total else near / total
+
+        assert near_top_share(tight) > near_top_share(loose)
+
+    def test_writes_present(self):
+        trace = generate_stack_distance_trace(spec(write_fraction=0.3))
+        assert 0.1 < trace.write_fraction() < 0.5
+
+    def test_no_writes(self):
+        trace = generate_stack_distance_trace(spec(write_fraction=0.0))
+        assert trace.write_fraction() == 0.0
+
+    def test_dilation_carried(self):
+        trace = generate_stack_distance_trace(spec(), dilation=7.0)
+        assert trace.dilation == 7.0
+
+    def test_compresses_well(self):
+        trace = generate_stack_distance_trace(spec(run_words=32))
+        assert trace.compression_ratio > 8
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            spec(refs=-1)
+        with pytest.raises(ConfigError):
+            spec(theta=-1)
+        with pytest.raises(ConfigError):
+            spec(max_depth=0)
+        with pytest.raises(ConfigError):
+            spec(new_page_prob=2.0)
+        with pytest.raises(ConfigError):
+            spec(run_words=0)
+
+
+class TestMeasurement:
+    def test_first_touches_keyed_minus_one(self):
+        trace = generate_stack_distance_trace(
+            spec(refs=5_000, new_page_prob=1.0, max_pages=20)
+        )
+        hist = measure_stack_distances(trace)
+        assert hist.get(-1, 0) >= 19  # almost every visit is a new page
+
+    def test_histogram_counts_visits(self):
+        trace = generate_stack_distance_trace(spec(refs=10_000))
+        hist = measure_stack_distances(trace)
+        assert sum(hist.values()) > 0
+
+
+class TestSimulatorIntegration:
+    def test_eager_beats_fullpage_on_stackdist_workload(self):
+        # The subpage conclusion must not depend on the region/phase
+        # generator family.
+        from repro.sim.config import SimulationConfig, memory_pages_for
+        from repro.sim.simulator import simulate
+
+        trace = generate_stack_distance_trace(
+            spec(refs=400_000, theta=0.7, max_pages=200,
+                 new_page_prob=0.05),
+            dilation=20.0,
+        )
+        memory = memory_pages_for(trace, 0.5)
+        full = simulate(
+            trace,
+            SimulationConfig(memory_pages=memory, scheme="fullpage",
+                             subpage_bytes=8192),
+        )
+        eager = simulate(
+            trace,
+            SimulationConfig(memory_pages=memory, scheme="eager",
+                             subpage_bytes=1024),
+        )
+        assert eager.improvement_vs(full) > 0.05

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Workload-calibration dashboard.
+
+Prints, for every application model, the statistics the reproduction is
+calibrated against: footprint, fault counts across memory configurations
+(vs the paper's reported ranges), eager/pipelined improvements, disk
+speedups, burstiness, and P(+1) locality.  Run this after editing
+``repro/trace/synth/apps.py`` to see at a glance whether the models still
+land where `docs/WORKLOADS.md` says they should.
+
+Usage:  python tools/tune_workloads.py [app ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.analysis.clustering import clustering_curve, fraction_in_bursts
+from repro.analysis.distances import distance_distribution
+from repro.analysis.overlap import attribute_overlap
+from repro.analysis.report import format_table, percent
+from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.simulator import simulate
+from repro.trace.synth.apps import app_names, get_app_model
+
+FRACTIONS = (("full", 1.0), ("1/2", 0.5), ("1/4", 0.25))
+
+
+def report_app(app: str) -> None:
+    model = get_app_model(app)
+    trace = model.build_workload().build(seed=0)
+    lo, hi = model.paper_fault_range
+    print(
+        f"\n=== {app}: {trace.num_references / 1e6:.2f}M refs "
+        f"(paper {model.paper_refs_millions:g}M), footprint "
+        f"{trace.footprint_pages()} pages, dilation {trace.dilation:g}, "
+        f"compression {trace.compression_ratio:.1f}x ==="
+    )
+    rows = []
+    for label, fraction in FRACTIONS:
+        memory = memory_pages_for(trace, fraction)
+
+        def cfg(**kwargs):
+            base = dict(memory_pages=memory, scheme="eager",
+                        subpage_bytes=1024)
+            base.update(kwargs)
+            return SimulationConfig(**base)
+
+        full = simulate(trace, cfg(scheme="fullpage", subpage_bytes=8192))
+        eager = simulate(trace, cfg())
+        piped = simulate(trace, cfg(scheme="pipelined"))
+        disk = simulate(
+            trace,
+            cfg(backing="disk", scheme="fullpage", subpage_bytes=8192),
+        )
+        curve = clustering_curve(eager)
+        rows.append(
+            [
+                label,
+                full.page_faults,
+                f"[{lo}..{hi}]",
+                percent(eager.improvement_vs(full)),
+                percent(piped.improvement_vs(full)),
+                f"{full.speedup_vs(disk):.2f}x",
+                f"{fraction_in_bursts(curve):.2f}",
+                percent(attribute_overlap(eager).io_share, 0),
+            ]
+        )
+        if label == "1/2":
+            dist = distance_distribution(eager)
+            plus_one = percent(dist.probability(1))
+    print(
+        format_table(
+            ["mem", "faults", "paper range", "eager", "piped",
+             "vs disk", "bursty", "I/O shr"],
+            rows,
+        )
+    )
+    print(f"P(+1) at 1/2-mem, 1K subpages: {plus_one}")
+
+
+def main() -> None:
+    apps = sys.argv[1:] if len(sys.argv) > 1 else list(app_names())
+    for app in apps:
+        report_app(app)
+
+
+if __name__ == "__main__":
+    main()
