@@ -5,6 +5,13 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments fig03 fig09
     python -m repro.experiments --all
+    python -m repro.experiments --workers 4 --progress fig03 fig09
+    python -m repro.experiments --workers 4 --cache ~/.cache/repro fig03
+
+Sweep-shaped experiments (Figures 3 and 9) fan their grid cells out over
+``--workers`` processes (default ``$REPRO_WORKERS`` or serial) and reuse
+the on-disk result cache named by ``--cache`` / ``$REPRO_CACHE_DIR``.
+See ``docs/PARALLEL.md``.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import sys
 import time
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.sim.parallel import CellEvent, ExecutionOptions, ResultCache
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,7 +49,61 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also export each experiment's data series as CSV into DIR",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "fan sweep cells out over N worker processes "
+            "(default: $REPRO_WORKERS, else serial)"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "on-disk simulation result cache directory "
+            "(default: $REPRO_CACHE_DIR; unset disables caching)"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-sweep-cell progress/timing lines to stderr",
+    )
     return parser
+
+
+def make_progress_printer(stream=None):
+    """A per-cell progress callback that prints timing lines."""
+    if stream is None:
+        stream = sys.stderr
+    count = 0
+
+    def emit(event: CellEvent) -> None:
+        nonlocal count
+        count += 1
+        print(
+            f"  [cell {count:3d}] {event.status:8s} "
+            f"{event.elapsed_s * 1e3:8.1f} ms  {event.key}",
+            file=stream,
+        )
+
+    return emit
+
+
+def build_options(args: argparse.Namespace) -> ExecutionOptions:
+    """Execution options from CLI flags layered over the environment."""
+    options = ExecutionOptions.from_env()
+    if args.workers is not None:
+        options.workers = max(1, args.workers)
+    if args.cache is not None:
+        options.cache = ResultCache(args.cache)
+    if args.progress:
+        options.progress = make_progress_printer()
+    return options
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,10 +118,11 @@ def main(argv: list[str] | None = None) -> int:
         print("error: name at least one experiment, or use --all/--list",
               file=sys.stderr)
         return 2
+    options = build_options(args)
     for exp_id in ids:
         experiment = get_experiment(exp_id)
         started = time.perf_counter()
-        result = experiment.run()
+        result = experiment.run_with(options)
         report = experiment.render(result)
         elapsed = time.perf_counter() - started
         print("=" * 72)
@@ -78,6 +141,13 @@ def main(argv: list[str] | None = None) -> int:
                 path = out_dir / name
                 path.write_text(text)
                 print(f"wrote {path}")
+    if options.cache is not None and (options.cache.hits
+                                      or options.cache.misses):
+        print(
+            f"result cache: {options.cache.hits} hits, "
+            f"{options.cache.misses} misses ({options.cache.root})",
+            file=sys.stderr,
+        )
     return 0
 
 

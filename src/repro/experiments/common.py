@@ -4,15 +4,24 @@ Several figures reuse the same runs (Figures 4, 5, 6 all view the
 Modula-3 1/2-mem sweep); caching keyed on the run parameters keeps the
 whole experiment suite fast and the benches honest (each bench still
 *computes* its figure; it just shares substrate runs).
+
+The in-process run cache is seedable: :func:`warm_runs` fans missing
+cells out through :func:`repro.sim.parallel.run_cells`, so grid figures
+(3 and 9) compute their cells in parallel when the ambient
+:class:`~repro.sim.parallel.ExecutionOptions` (set by the CLI's
+``--workers`` flag or ``REPRO_WORKERS``) ask for workers, and reuse an
+on-disk result cache when one is configured.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from functools import lru_cache
+from typing import Any, Iterable, Iterator
 
 from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.parallel import ExecutionOptions, SweepJob, run_cells
 from repro.sim.results import SimulationResult
-from repro.sim.simulator import simulate
 from repro.trace.compress import RunTrace
 from repro.trace.synth.apps import build_app_trace
 
@@ -30,6 +39,52 @@ SUBPAGE_SIZES: tuple[int, ...] = (4096, 2048, 1024, 512, 256)
 #: The trace seed used by all experiments (results are deterministic).
 TRACE_SEED = 0
 
+#: Defaults for every run parameter, in cache-key order.
+_RUN_DEFAULTS: dict[str, Any] = {
+    "scheme": "eager",
+    "subpage_bytes": 1024,
+    "backing": "remote",
+    "pipeline_count": 2,
+    "segment_subpages": 1,
+    "interrupt_ms": 0.0,
+    "double_initial": False,
+    "congestion": True,
+    "replacement": "lru",
+    "protection": "tlb",
+    "tlb_entries": 0,
+}
+
+#: In-process result cache, keyed by normalized run spec.
+_RUN_CACHE: dict[tuple, SimulationResult] = {}
+
+#: Ambient execution options (lazily initialized from the environment).
+_OPTIONS: ExecutionOptions | None = None
+
+
+def execution_options() -> ExecutionOptions:
+    """The ambient options experiment runs execute under."""
+    global _OPTIONS
+    if _OPTIONS is None:
+        _OPTIONS = ExecutionOptions.from_env()
+    return _OPTIONS
+
+
+def set_execution_options(options: ExecutionOptions) -> None:
+    global _OPTIONS
+    _OPTIONS = options
+
+
+@contextmanager
+def execution_scope(options: ExecutionOptions) -> Iterator[ExecutionOptions]:
+    """Temporarily install ``options`` as the ambient execution options."""
+    global _OPTIONS
+    previous = _OPTIONS
+    _OPTIONS = options
+    try:
+        yield options
+    finally:
+        _OPTIONS = previous
+
 
 @lru_cache(maxsize=16)
 def get_trace(app: str, seed: int = TRACE_SEED) -> RunTrace:
@@ -37,7 +92,87 @@ def get_trace(app: str, seed: int = TRACE_SEED) -> RunTrace:
     return build_app_trace(app, seed=seed)
 
 
-@lru_cache(maxsize=256)
+def _spec_key(app: str, memory_fraction: float, **kwargs: Any) -> tuple:
+    merged = {**_RUN_DEFAULTS, **kwargs}
+    unknown = set(merged) - set(_RUN_DEFAULTS)
+    if unknown:
+        raise TypeError(f"unknown run parameters: {sorted(unknown)}")
+    return (app, memory_fraction) + tuple(
+        merged[name] for name in _RUN_DEFAULTS
+    )
+
+
+def _spec_config(
+    trace: RunTrace, memory_fraction: float, **kwargs: Any
+) -> SimulationConfig:
+    merged = {**_RUN_DEFAULTS, **kwargs}
+    scheme_kwargs = {}
+    if merged["scheme"] == "pipelined":
+        scheme_kwargs = {
+            "pipeline_count": merged["pipeline_count"],
+            "segment_subpages": merged["segment_subpages"],
+            "interrupt_ms": merged["interrupt_ms"],
+            "double_initial": merged["double_initial"],
+        }
+    return SimulationConfig(
+        memory_pages=memory_pages_for(trace, memory_fraction),
+        scheme=merged["scheme"],
+        scheme_kwargs=scheme_kwargs,
+        subpage_bytes=merged["subpage_bytes"],
+        backing=merged["backing"],
+        congestion=merged["congestion"],
+        replacement=merged["replacement"],
+        protection=merged["protection"],
+        tlb_entries=merged["tlb_entries"],
+    )
+
+
+def warm_runs(
+    specs: Iterable[dict[str, Any]],
+    workers: int | None = None,
+    progress: Any = None,
+) -> None:
+    """Ensure every spec is in the run cache, fanning missing cells out.
+
+    Each spec is a dict of :func:`run_cached` keyword arguments (``app``
+    and ``memory_fraction`` required).  Missing cells execute through
+    :func:`repro.sim.parallel.run_cells` under the ambient
+    :func:`execution_options` (worker count, on-disk cache, progress
+    callback), so a grid figure can compute all its cells in one
+    parallel batch before reading them back serially.
+    """
+    options = execution_options()
+    if workers is None:
+        workers = options.workers
+    if progress is None:
+        progress = options.progress
+    jobs: list[SweepJob] = []
+    queued: set[tuple] = set()
+    for spec in specs:
+        spec = dict(spec)
+        app = spec.pop("app")
+        memory_fraction = spec.pop("memory_fraction")
+        key = _spec_key(app, memory_fraction, **spec)
+        if key in _RUN_CACHE or key in queued:
+            continue
+        queued.add(key)
+        trace = get_trace(app)
+        jobs.append(SweepJob(
+            key=key,
+            trace=trace,
+            config=_spec_config(trace, memory_fraction, **spec),
+        ))
+    if jobs:
+        _RUN_CACHE.update(run_cells(
+            jobs, workers=workers, cache=options.cache, progress=progress
+        ))
+
+
+def clear_run_cache() -> None:
+    """Drop the in-process run cache (tests and memory-pressure relief)."""
+    _RUN_CACHE.clear()
+
+
 def run_cached(
     app: str,
     memory_fraction: float,
@@ -56,29 +191,27 @@ def run_cached(
     """Run (or fetch) one simulation with the standard configuration.
 
     Scheme keyword arguments are flattened into the signature so the
-    cache key stays hashable.
+    cache key stays stable and hashable.
     """
-    trace = get_trace(app)
-    scheme_kwargs = {}
-    if scheme == "pipelined":
-        scheme_kwargs = {
-            "pipeline_count": pipeline_count,
-            "segment_subpages": segment_subpages,
-            "interrupt_ms": interrupt_ms,
-            "double_initial": double_initial,
-        }
-    config = SimulationConfig(
-        memory_pages=memory_pages_for(trace, memory_fraction),
-        scheme=scheme,
-        scheme_kwargs=scheme_kwargs,
-        subpage_bytes=subpage_bytes,
-        backing=backing,
-        congestion=congestion,
-        replacement=replacement,
-        protection=protection,
-        tlb_entries=tlb_entries,
-    )
-    return simulate(trace, config)
+    spec = {
+        "scheme": scheme,
+        "subpage_bytes": subpage_bytes,
+        "backing": backing,
+        "pipeline_count": pipeline_count,
+        "segment_subpages": segment_subpages,
+        "interrupt_ms": interrupt_ms,
+        "double_initial": double_initial,
+        "congestion": congestion,
+        "replacement": replacement,
+        "protection": protection,
+        "tlb_entries": tlb_entries,
+    }
+    key = _spec_key(app, memory_fraction, **spec)
+    result = _RUN_CACHE.get(key)
+    if result is None:
+        warm_runs([{"app": app, "memory_fraction": memory_fraction, **spec}])
+        result = _RUN_CACHE[key]
+    return result
 
 
 def fullpage_run(

@@ -49,11 +49,34 @@ class Fig03Result:
         )
 
 
+def grid_specs(app: str = APP) -> list[dict]:
+    """Every cell of the Figure 3 grid as :func:`common.warm_runs` specs."""
+    specs = []
+    for fraction in common.MEMORY_FRACTIONS.values():
+        specs.append({
+            "app": app, "memory_fraction": fraction,
+            "scheme": "fullpage", "subpage_bytes": 8192, "backing": "disk",
+        })
+        specs.append({
+            "app": app, "memory_fraction": fraction,
+            "scheme": "fullpage", "subpage_bytes": 8192,
+        })
+        for size in common.SUBPAGE_SIZES:
+            specs.append({
+                "app": app, "memory_fraction": fraction,
+                "scheme": "eager", "subpage_bytes": size,
+            })
+    return specs
+
+
 def run(app: str = APP) -> Fig03Result:
     memory_labels = tuple(common.MEMORY_FRACTIONS)
     bar_labels = ["disk_8192", "p_8192"] + [
         f"sp_{size}" for size in common.SUBPAGE_SIZES
     ]
+    # Fan the whole grid out at once (parallel under --workers); the
+    # loop below then reads every cell back from the run cache.
+    common.warm_runs(grid_specs(app))
     totals: dict[tuple[str, str], float] = {}
     for memory, fraction in common.MEMORY_FRACTIONS.items():
         totals[(memory, "disk_8192")] = common.disk_run(

@@ -50,8 +50,29 @@ class Fig09Result:
         return min(vals), max(vals)
 
 
+def grid_specs() -> list[dict]:
+    """Every cell of the Figure 9 sweep as :func:`common.warm_runs` specs."""
+    specs = []
+    for app in app_names():
+        specs.append({
+            "app": app, "memory_fraction": MEMORY_FRACTION,
+            "scheme": "fullpage", "subpage_bytes": 8192,
+        })
+        specs.append({
+            "app": app, "memory_fraction": MEMORY_FRACTION,
+            "scheme": "eager", "subpage_bytes": SUBPAGE_BYTES,
+        })
+        specs.append({
+            "app": app, "memory_fraction": MEMORY_FRACTION,
+            "scheme": "pipelined", "subpage_bytes": SUBPAGE_BYTES,
+        })
+    return specs
+
+
 def run() -> Fig09Result:
     rows = []
+    # Fan the applications x schemes grid out in one parallel batch.
+    common.warm_runs(grid_specs())
     for app in app_names():
         full = common.fullpage_run(app, MEMORY_FRACTION)
         eager = common.run_cached(

@@ -6,6 +6,8 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import ConfigError
+from repro.experiments.common import execution_scope
+from repro.sim.parallel import ExecutionOptions
 from repro.experiments import (
     scorecard,
     fig01_latency,
@@ -35,6 +37,17 @@ class Experiment:
     def report(self) -> str:
         """Run the experiment and render its report."""
         return self.render(self.run())
+
+    def run_with(self, options: ExecutionOptions | None = None) -> Any:
+        """Run under explicit execution options (workers/cache/progress).
+
+        ``None`` keeps the ambient options (``REPRO_WORKERS`` /
+        ``REPRO_CACHE_DIR`` or whatever the caller installed).
+        """
+        if options is None:
+            return self.run()
+        with execution_scope(options):
+            return self.run()
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -132,9 +145,9 @@ def get_experiment(exp_id: str) -> Experiment:
         ) from None
 
 
-def run_all() -> dict[str, str]:
+def run_all(options: ExecutionOptions | None = None) -> dict[str, str]:
     """Run every experiment; returns rendered reports by id."""
     return {
-        exp_id: experiment.report()
+        exp_id: experiment.render(experiment.run_with(options))
         for exp_id, experiment in EXPERIMENTS.items()
     }

@@ -30,6 +30,13 @@ class PendingArrivals:
     The simulator and the link model share this object: the link shifts
     arrival times when demand traffic preempts the transfer, and the
     simulator reads arrival times when the program touches subpages.
+
+    An empty ``arrival_ms`` schedule is legal (every arrival may already
+    have been folded into the resident page, or a transfer may carry no
+    subpage deadlines at all): :meth:`shift_after` and the
+    :class:`LinkModel` then only track ``wire_end_ms``.  Only
+    :meth:`earliest`/:meth:`latest` require a non-empty schedule; call
+    sites must check ``arrival_ms`` first.
     """
 
     arrival_ms: dict[int, float] = field(default_factory=dict)

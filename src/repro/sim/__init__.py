@@ -10,6 +10,14 @@ and the next-subpage distance histogram.
 """
 
 from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.parallel import (
+    CellEvent,
+    ExecutionOptions,
+    ResultCache,
+    SweepJob,
+    TraceRef,
+    run_cells,
+)
 from repro.sim.replacement import (
     ClockPolicy,
     FifoPolicy,
@@ -35,23 +43,29 @@ from repro.sim.sweep import (
 from repro.sim.tlb import TlbModel, TlbStats
 
 __all__ = [
+    "CellEvent",
     "ClockPolicy",
+    "ExecutionOptions",
     "FifoPolicy",
     "LruPolicy",
     "MultiNodeResult",
     "NodeWorkload",
     "RandomPolicy",
     "ReplacementPolicy",
+    "ResultCache",
     "SeedStudy",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "SweepJob",
     "SweepResult",
     "TimeComponents",
     "TlbModel",
     "TlbStats",
+    "TraceRef",
     "make_policy",
     "memory_pages_for",
+    "run_cells",
     "run_memory_sweep",
     "run_multi_workload",
     "run_seed_study",

@@ -1,0 +1,365 @@
+"""Parallel sweep execution: fan sweep cells out over worker processes.
+
+The paper's results are grids — Figure 3 sweeps subpage size x memory
+size, Figure 9 sweeps applications x schemes — and every cell is an
+independent :func:`~repro.sim.simulator.simulate` call.  This module is
+the execution substrate those grids (and any future, larger studies) run
+on:
+
+* :func:`run_cells` fans a list of :class:`SweepJob` cells out to a
+  ``concurrent.futures.ProcessPoolExecutor``.  Cells whose payload does
+  not pickle (e.g. a config holding an ad-hoc latency-model instance)
+  transparently fall back to inline execution, as does the whole batch
+  when ``workers <= 1`` — so results are always bit-identical to a
+  serial run (the simulator is deterministic and shares no state across
+  cells).
+* :class:`ResultCache` is a content-keyed on-disk cache: a cell's key
+  hashes the trace fingerprint (array contents + granularities) together
+  with every configuration field, so re-running an experiment skips
+  completed cells and any input change misses cleanly.
+* :class:`CellEvent` progress callbacks report per-cell status and
+  timing; ``python -m repro.experiments --progress`` surfaces them.
+
+Environment knobs: ``REPRO_WORKERS`` sets the default worker count and
+``REPRO_CACHE_DIR`` enables (and locates) the default result cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.errors import ConfigError
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import simulate
+from repro.trace.compress import RunTrace
+
+#: Environment variable naming the default worker count.
+ENV_WORKERS = "REPRO_WORKERS"
+
+#: Environment variable naming the default on-disk cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Bumped whenever simulator semantics change in a way that invalidates
+#: previously cached results.
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRef:
+    """A by-name reference to a deterministic synthetic app trace.
+
+    Jobs carrying a ``TraceRef`` instead of a materialized
+    :class:`RunTrace` pickle in a few bytes; each worker rebuilds the
+    trace locally (generation is deterministic per seed, so results are
+    unchanged).
+    """
+
+    app: str
+    seed: int = 0
+    scale: float | None = None
+
+    def materialize(self) -> RunTrace:
+        from repro.trace.synth.apps import build_app_trace
+
+        return build_app_trace(self.app, seed=self.seed, scale=self.scale)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepJob:
+    """One sweep cell: a trace (or reference) plus a configuration.
+
+    ``key`` identifies the cell in :func:`run_cells`'s result mapping and
+    in progress events; it must be unique within a batch and hashable.
+    """
+
+    key: Any
+    trace: RunTrace | TraceRef
+    config: SimulationConfig
+
+
+@dataclass(frozen=True, slots=True)
+class CellEvent:
+    """Progress report for one sweep cell.
+
+    ``status`` is ``"done"`` (computed), ``"cached"`` (served from the
+    result cache), or ``"fallback"`` (computed inline after the parallel
+    path could not take it).  ``elapsed_s`` is the cell's own compute
+    time (zero for cache hits).
+    """
+
+    key: Any
+    status: str
+    elapsed_s: float
+
+
+ProgressCallback = Callable[[CellEvent], None]
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (defaults to 1 = serial)."""
+    raw = os.environ.get(ENV_WORKERS, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{ENV_WORKERS} must be an integer, got {raw!r}"
+        ) from None
+    return max(1, workers)
+
+
+def default_cache() -> "ResultCache | None":
+    """Cache from ``REPRO_CACHE_DIR`` (``None`` disables caching)."""
+    raw = os.environ.get(ENV_CACHE_DIR, "").strip()
+    return ResultCache(raw) if raw else None
+
+
+# -- content fingerprints ---------------------------------------------------
+
+
+def trace_fingerprint(trace: RunTrace | TraceRef) -> str:
+    """A stable content fingerprint for a trace or trace reference.
+
+    References fingerprint by name/seed/scale (generation is
+    deterministic); materialized traces hash their run arrays and
+    granularities.
+    """
+    if isinstance(trace, TraceRef):
+        return f"ref:{trace.app}:{trace.seed}:{trace.scale}"
+    digest = hashlib.sha256()
+    for arr in (trace.pages, trace.blocks, trace.counts, trace.writes):
+        digest.update(arr.tobytes())
+    meta = (
+        f"{trace.page_bytes}:{trace.block_bytes}:{trace.dilation}:"
+        f"{trace.name}"
+    )
+    digest.update(meta.encode())
+    return f"sha:{digest.hexdigest()}"
+
+
+def config_fingerprint(config: SimulationConfig) -> str | None:
+    """A stable fingerprint of every config field, or ``None``.
+
+    ``None`` means the configuration is not content-addressable (it
+    carries live model instances whose behaviour we cannot hash) and the
+    cell must not be cached.
+    """
+    if not isinstance(config.scheme, str):
+        return None
+    if config.latency_model is not None or config.disk_model is not None:
+        return None
+    parts = []
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if f.name == "scheme_kwargs":
+            value = tuple(sorted(value.items()))
+        parts.append(f"{f.name}={value!r}")
+    return ";".join(parts)
+
+
+def cell_cache_key(
+    trace: RunTrace | TraceRef, config: SimulationConfig
+) -> str | None:
+    """Content key for one cell, or ``None`` when uncacheable."""
+    cfg_fp = config_fingerprint(config)
+    if cfg_fp is None:
+        return None
+    payload = f"v{CACHE_VERSION}|{trace_fingerprint(trace)}|{cfg_fp}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- on-disk result cache ---------------------------------------------------
+
+
+class ResultCache:
+    """Content-keyed on-disk cache of :class:`SimulationResult` pickles.
+
+    Entries live under ``root/<key[:2]>/<key>.pkl``.  Keys hash the full
+    cell content (see :func:`cell_cache_key`), so invalidation is
+    automatic on any trace or config change; delete the directory to
+    clear it wholesale.  Unreadable entries are treated as misses.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, job: SweepJob) -> str | None:
+        return cell_cache_key(job.trace, job.config)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> SimulationResult | None:
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if not isinstance(result, SimulationResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+
+# -- execution --------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ExecutionOptions:
+    """How sweep cells should be executed (workers, cache, progress)."""
+
+    workers: int = 1
+    cache: ResultCache | None = None
+    progress: ProgressCallback | None = None
+
+    @classmethod
+    def from_env(cls) -> "ExecutionOptions":
+        return cls(workers=default_workers(), cache=default_cache())
+
+
+def _execute(
+    trace: RunTrace | TraceRef, config: SimulationConfig
+) -> tuple[SimulationResult, float]:
+    """Worker entry point: simulate one cell, timing the compute."""
+    started = time.perf_counter()
+    if isinstance(trace, TraceRef):
+        trace = trace.materialize()
+    result = simulate(trace, config)
+    return result, time.perf_counter() - started
+
+
+def _emit(progress: ProgressCallback | None, event: CellEvent) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def _picklable(job: SweepJob) -> bool:
+    try:
+        pickle.dumps(
+            (job.trace, job.config), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception:
+        return False
+    return True
+
+
+def _run_pool(
+    todo: list[tuple[SweepJob, str | None]],
+    workers: int,
+    cache: ResultCache | None,
+    progress: ProgressCallback | None,
+    results: dict[Any, SimulationResult],
+) -> list[tuple[SweepJob, str | None]]:
+    """Run picklable cells in a process pool, filling ``results``.
+
+    Returns the cells that still need inline execution (unpicklable
+    payloads, worker failures, or a broken pool).
+    """
+    fallback, shippable = [], []
+    for entry in todo:
+        (shippable if _picklable(entry[0]) else fallback).append(entry)
+    if not shippable:
+        return fallback
+    try:
+        max_workers = min(workers, len(shippable))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                (job, ckey, pool.submit(_execute, job.trace, job.config))
+                for job, ckey in shippable
+            ]
+            for job, ckey, future in futures:
+                try:
+                    result, elapsed = future.result()
+                except Exception:
+                    fallback.append((job, ckey))
+                    continue
+                results[job.key] = result
+                if cache is not None and ckey is not None:
+                    cache.put(ckey, result)
+                _emit(progress, CellEvent(job.key, "done", elapsed))
+    except Exception:
+        # The pool itself failed (fork unavailable, interpreter teardown,
+        # ...): whatever did not finish runs inline.
+        fallback.extend(
+            entry for entry in shippable if entry[0].key not in results
+        )
+    return fallback
+
+
+def run_cells(
+    jobs: Iterable[SweepJob],
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
+) -> dict[Any, SimulationResult]:
+    """Execute sweep cells, in parallel when asked, returning by key.
+
+    ``workers=None`` reads ``REPRO_WORKERS`` (default 1); ``workers<=1``
+    runs inline.  When a ``cache`` is given, cacheable cells are served
+    from it and newly computed results are written through.  Every cell
+    reports a :class:`CellEvent` to ``progress``.
+
+    Results are identical to running :func:`simulate` serially on each
+    cell in job order, whatever the worker count.
+    """
+    jobs = list(jobs)
+    seen: set[Any] = set()
+    for job in jobs:
+        if job.key in seen:
+            raise ConfigError(f"duplicate sweep cell key {job.key!r}")
+        seen.add(job.key)
+    if workers is None:
+        workers = default_workers()
+
+    results: dict[Any, SimulationResult] = {}
+    todo: list[tuple[SweepJob, str | None]] = []
+    for job in jobs:
+        ckey = cache.key_for(job) if cache is not None else None
+        if ckey is not None:
+            hit = cache.get(ckey)
+            if hit is not None:
+                results[job.key] = hit
+                _emit(progress, CellEvent(job.key, "cached", 0.0))
+                continue
+        todo.append((job, ckey))
+
+    if workers > 1 and len(todo) > 1:
+        remaining = _run_pool(todo, workers, cache, progress, results)
+        inline_status = "fallback"
+    else:
+        remaining = todo
+        inline_status = "done"
+    for job, ckey in remaining:
+        result, elapsed = _execute(job.trace, job.config)
+        results[job.key] = result
+        if cache is not None and ckey is not None:
+            cache.put(ckey, result)
+        _emit(progress, CellEvent(job.key, inline_status, elapsed))
+    return {job.key: results[job.key] for job in jobs}

@@ -354,11 +354,15 @@ class Simulator:
                 frame.valid_bits |= 1 << sp
 
         # Fold completed transfers: once everything has arrived the page
-        # behaves like any fully-resident page (access re-enabled).
+        # behaves like any fully-resident page (access re-enabled).  An
+        # empty schedule means nothing is actually in flight; fold it
+        # immediately rather than tripping PendingArrivals.latest().
         pending = frame.pending
         if pending is not None:
-            latest = pending.latest()
-            if clock >= latest:
+            if not pending.arrival_ms:
+                frame.valid_bits = state.full_mask
+                frame.pending = None
+            elif clock >= (latest := pending.latest()):
                 frame.valid_bits = state.full_mask
                 frame.pending = None
                 if frame.record is not None:
@@ -444,12 +448,20 @@ class Simulator:
 
         def transfers_done(page: int) -> bool:
             pending = frames[page].pending
-            return pending is None or pending.latest() <= clock
+            return (
+                pending is None
+                or not pending.arrival_ms
+                or pending.latest() <= clock
+            )
 
         victim = state.policy.evict(prefer=transfers_done)
         frame = frames.pop(victim)
         state.result.evictions += 1
-        if frame.pending is not None and frame.pending.latest() > clock:
+        if (
+            frame.pending is not None
+            and frame.pending.arrival_ms
+            and frame.pending.latest() > clock
+        ):
             state.result.cancelled_transfers += 1
         if frame.dirty:
             state.result.dirty_evictions += 1
@@ -499,8 +511,11 @@ class Simulator:
             import numpy as np
 
             vpns = np.unique(trace.pages).tolist()
-            placeable = min(len(vpns), cluster.total_free_frames()
-                            - cfg.memory_pages)
+            # Clamp at zero: with scarce idle frames the subtraction can
+            # go negative, and a negative slice would silently drop pages
+            # from the tail instead of warm-filling none.
+            placeable = max(0, min(len(vpns), cluster.total_free_frames()
+                                   - cfg.memory_pages))
             cluster.warm_fill(cfg.cluster_node_id, vpns[:placeable])
         return cluster
 

@@ -11,6 +11,12 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.parallel import (
+    ProgressCallback,
+    ResultCache,
+    SweepJob,
+    run_cells,
+)
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import simulate
 from repro.trace.compress import RunTrace
@@ -29,6 +35,11 @@ class SweepResult:
     def add(
         self, row: str, column: str, result: SimulationResult
     ) -> None:
+        if (row, column) in self.results:
+            raise ConfigError(
+                f"sweep already has cell ({row!r}, {column!r}); "
+                "duplicate grid labels would silently overwrite results"
+            )
         if row not in self.rows:
             self.rows.append(row)
         if column not in self.columns:
@@ -53,14 +64,24 @@ def run_subpage_sweep(
     subpage_sizes: list[int],
     memory_fractions: dict[str, float],
     include_baselines: bool = True,
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
 ) -> SweepResult:
     """The Figure 3 grid: rows = memory configs, columns = schemes/sizes.
 
     Columns are, in the paper's order: ``disk_8192`` (fullpage faults from
     disk), ``p_8192`` (fullpage from global memory), then ``sp_<size>``
     (eager fullpage fetch) for each requested subpage size, largest first.
+
+    Cells route through :func:`repro.sim.parallel.run_cells`:
+    ``workers`` fans them out over processes (``None`` reads
+    ``REPRO_WORKERS``), ``cache`` skips cells already computed, and
+    ``progress`` receives per-cell events.  Results are identical at any
+    worker count.
     """
-    sweep = SweepResult()
+    jobs: list[SweepJob] = []
     for row_label, fraction in memory_fractions.items():
         memory = memory_pages_for(trace, fraction)
         if include_baselines:
@@ -70,24 +91,40 @@ def run_subpage_sweep(
                 scheme="fullpage",
                 subpage_bytes=base.page_bytes,
             )
-            sweep.add(row_label, f"disk_{base.page_bytes}",
-                      simulate(trace, disk_cfg))
+            jobs.append(SweepJob(
+                key=(row_label, f"disk_{base.page_bytes}"),
+                trace=trace,
+                config=disk_cfg,
+            ))
             full_cfg = base.with_overrides(
                 memory_pages=memory,
                 backing="remote",
                 scheme="fullpage",
                 subpage_bytes=base.page_bytes,
             )
-            sweep.add(row_label, f"p_{base.page_bytes}",
-                      simulate(trace, full_cfg))
+            jobs.append(SweepJob(
+                key=(row_label, f"p_{base.page_bytes}"),
+                trace=trace,
+                config=full_cfg,
+            ))
         for size in sorted(subpage_sizes, reverse=True):
             cfg = base.with_overrides(
                 memory_pages=memory,
                 backing=base.backing if base.backing != "disk" else "remote",
                 subpage_bytes=size,
             )
-            label = cfg.scheme_label()
-            sweep.add(row_label, label, simulate(trace, cfg))
+            jobs.append(SweepJob(
+                key=(row_label, cfg.scheme_label()),
+                trace=trace,
+                config=cfg,
+            ))
+    results = run_cells(
+        jobs, workers=workers, cache=cache, progress=progress
+    )
+    sweep = SweepResult()
+    for job in jobs:
+        row_label, column = job.key
+        sweep.add(row_label, column, results[job.key])
     return sweep
 
 
@@ -156,12 +193,20 @@ def run_memory_sweep(
     trace: RunTrace,
     base: SimulationConfig,
     memory_fractions: dict[str, float],
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
 ) -> dict[str, SimulationResult]:
     """One configuration across several memory sizes."""
-    out = {}
-    for label, fraction in memory_fractions.items():
-        cfg = base.with_overrides(
-            memory_pages=memory_pages_for(trace, fraction)
+    jobs = [
+        SweepJob(
+            key=label,
+            trace=trace,
+            config=base.with_overrides(
+                memory_pages=memory_pages_for(trace, fraction)
+            ),
         )
-        out[label] = simulate(trace, cfg)
-    return out
+        for label, fraction in memory_fractions.items()
+    ]
+    return run_cells(jobs, workers=workers, cache=cache, progress=progress)

@@ -108,3 +108,37 @@ class TestLinkModel:
             p = pending({1: 1.0 + i}, wire_end=1.0 + i)
             waits.append(link.background(0.0, 1.0, p))
         assert waits == [0.0, pytest.approx(1.0), pytest.approx(2.0)]
+
+
+class TestDemandPreemptionAccounting:
+    """Demand preemption over in-flight backgrounds, including the
+    empty-schedule case (all arrivals already folded by the simulator)."""
+
+    def test_empty_schedule_background_then_demand(self):
+        link = LinkModel()
+        p = PendingArrivals(arrival_ms={}, wire_end_ms=2.0)
+        assert link.background(1.0, 1.0, p) == 0.0
+        link.demand(1.5, 0.5)  # must not raise on the empty schedule
+        assert p.wire_end_ms == pytest.approx(2.5)
+        assert link.total_preemption_delay_ms == pytest.approx(0.5)
+
+    def test_empty_schedule_queueing_shifts_wire_end(self):
+        link = LinkModel()
+        link.demand(0.0, 1.0)  # busy until 1.0
+        p = PendingArrivals(arrival_ms={}, wire_end_ms=1.5)
+        delay = link.background(0.5, 1.0, p)
+        assert delay == pytest.approx(0.5)
+        assert p.wire_end_ms == pytest.approx(2.0)
+
+    def test_preemption_accounting_sums_across_flights(self):
+        link = LinkModel()
+        p1 = pending({1: 2.0}, wire_end=2.0)
+        link.background(0.0, 2.0, p1)
+        p2 = pending({1: 4.0}, wire_end=4.0)
+        link.background(0.0, 2.0, p2)  # queues behind p1 (+2.0)
+        assert p2.arrival_ms[1] == pytest.approx(6.0)
+        link.demand(1.0, 0.5)
+        assert p1.arrival_ms[1] == pytest.approx(2.5)
+        assert p2.arrival_ms[1] == pytest.approx(6.5)
+        assert link.total_preemption_delay_ms == pytest.approx(1.0)
+        assert link.total_queueing_delay_ms == pytest.approx(2.0)

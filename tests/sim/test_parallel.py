@@ -1,0 +1,256 @@
+"""The parallel sweep executor: equivalence, caching, fallback.
+
+The contract under test is the one ``docs/PARALLEL.md`` documents:
+whatever the worker count, ``run_cells`` returns results bit-identical
+to serial execution; the on-disk cache serves completed cells back and
+misses on any input change; unpicklable payloads fall back to inline
+execution instead of failing.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import SimulationConfig
+from repro.sim.parallel import (
+    CellEvent,
+    ExecutionOptions,
+    ResultCache,
+    SweepJob,
+    TraceRef,
+    cell_cache_key,
+    config_fingerprint,
+    default_workers,
+    run_cells,
+    trace_fingerprint,
+)
+from repro.sim.simulator import simulate
+from repro.trace.compress import compress_references
+
+from tests.conftest import FixedLatencyModel
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = np.random.default_rng(3)
+    pages = rng.integers(0, 16, size=3000)
+    offsets = rng.integers(0, 1024, size=3000) * 8
+    writes = rng.random(3000) < 0.2
+    return compress_references(
+        pages * 8192 + offsets, writes, name="parallel-suite"
+    )
+
+
+def make_jobs(trace, sizes=(4096, 2048, 1024, 512)):
+    return [
+        SweepJob(
+            key=f"sp_{size}",
+            trace=trace,
+            config=SimulationConfig(
+                memory_pages=8,
+                scheme="eager",
+                subpage_bytes=size,
+                event_ns=1000.0,
+                use_trace_dilation=False,
+            ),
+        )
+        for size in sizes
+    ]
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial_per_cell(self, trace):
+        jobs = make_jobs(trace)
+        serial = run_cells(jobs, workers=1)
+        parallel = run_cells(jobs, workers=4)
+        assert list(serial) == list(parallel) == [j.key for j in jobs]
+        for key in serial:
+            assert parallel[key].total_ms == serial[key].total_ms
+            assert parallel[key].summary() == serial[key].summary()
+            assert (
+                parallel[key].stall_intervals == serial[key].stall_intervals
+            )
+
+    def test_matches_direct_simulate(self, trace):
+        jobs = make_jobs(trace, sizes=(1024,))
+        out = run_cells(jobs, workers=4)
+        direct = simulate(trace, jobs[0].config)
+        assert out["sp_1024"].total_ms == direct.total_ms
+
+    def test_traceref_jobs_materialize_in_worker(self):
+        ref = TraceRef("ld", seed=0, scale=0.05)
+        config = SimulationConfig(memory_pages=32)
+        jobs = [SweepJob(key="ref", trace=ref, config=config)]
+        serial = run_cells(jobs, workers=1)
+        parallel = run_cells(jobs, workers=2)
+        # A single job runs inline even with workers>1; force the pool
+        # path with two distinct keys over the same payload.
+        jobs2 = [
+            SweepJob(key="a", trace=ref, config=config),
+            SweepJob(key="b", trace=ref, config=config),
+        ]
+        pooled = run_cells(jobs2, workers=2)
+        assert serial["ref"].total_ms == parallel["ref"].total_ms
+        assert pooled["a"].total_ms == serial["ref"].total_ms
+        assert pooled["b"].total_ms == serial["ref"].total_ms
+
+    def test_duplicate_keys_rejected(self, trace):
+        jobs = make_jobs(trace, sizes=(1024,)) * 2
+        with pytest.raises(ConfigError, match="duplicate"):
+            run_cells(jobs, workers=1)
+
+
+class TestFallback:
+    def test_unpicklable_config_falls_back_inline(self, trace):
+        class LocalLatency(FixedLatencyModel):
+            """Defined in a function scope: instances cannot pickle."""
+
+        config = SimulationConfig(
+            memory_pages=8,
+            latency_model=LocalLatency(),
+            event_ns=1000.0,
+            use_trace_dilation=False,
+        )
+        with pytest.raises(Exception):
+            pickle.dumps(config)
+        jobs = [SweepJob(key="local", trace=trace, config=config)]
+        jobs += make_jobs(trace, sizes=(1024, 512))
+        events = []
+        out = run_cells(jobs, workers=2, progress=events.append)
+        expected = simulate(trace, config)
+        assert out["local"].total_ms == expected.total_ms
+        assert {e.key: e.status for e in events}["local"] == "fallback"
+        assert {e.key: e.status for e in events}["sp_1024"] == "done"
+
+    def test_progress_events_serial(self, trace):
+        events: list[CellEvent] = []
+        jobs = make_jobs(trace, sizes=(1024, 512))
+        run_cells(jobs, workers=1, progress=events.append)
+        assert [e.key for e in events] == ["sp_1024", "sp_512"]
+        assert all(e.status == "done" for e in events)
+        assert all(e.elapsed_s > 0 for e in events)
+
+
+class TestCache:
+    def test_miss_then_hit(self, trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = make_jobs(trace, sizes=(1024, 512))
+        events = []
+        first = run_cells(jobs, workers=1, cache=cache,
+                          progress=events.append)
+        assert cache.misses == 2 and cache.hits == 0
+        second = run_cells(jobs, workers=1, cache=cache,
+                           progress=events.append)
+        assert cache.hits == 2
+        assert [e.status for e in events] == [
+            "done", "done", "cached", "cached"
+        ]
+        for key in first:
+            assert second[key].total_ms == first[key].total_ms
+
+    def test_parallel_run_populates_cache(self, trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = make_jobs(trace)
+        run_cells(jobs, workers=4, cache=cache)
+        cached = run_cells(jobs, workers=4, cache=cache)
+        assert cache.hits == len(jobs)
+        serial = run_cells(jobs, workers=1)
+        for key in serial:
+            assert cached[key].total_ms == serial[key].total_ms
+
+    def test_config_change_misses(self, trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = make_jobs(trace, sizes=(1024,))
+        run_cells(jobs, workers=1, cache=cache)
+        changed = [
+            SweepJob(
+                key="sp_1024",
+                trace=trace,
+                config=jobs[0].config.with_overrides(memory_pages=9),
+            )
+        ]
+        run_cells(changed, workers=1, cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_trace_change_misses(self, trace, tmp_path):
+        other = compress_references(
+            np.arange(0, 40 * 8192, 64, dtype=np.int64), name="other"
+        )
+        assert trace_fingerprint(trace) != trace_fingerprint(other)
+        cache = ResultCache(tmp_path)
+        config = make_jobs(trace, sizes=(1024,))[0].config
+        run_cells([SweepJob("a", trace, config)], workers=1, cache=cache)
+        run_cells([SweepJob("a", other, config)], workers=1, cache=cache)
+        assert cache.hits == 0
+
+    def test_unhashable_configs_are_uncacheable(self, trace, tmp_path):
+        config = SimulationConfig(
+            memory_pages=8,
+            latency_model=FixedLatencyModel(),
+            event_ns=1000.0,
+            use_trace_dilation=False,
+        )
+        assert config_fingerprint(config) is None
+        assert cell_cache_key(trace, config) is None
+        cache = ResultCache(tmp_path)
+        run_cells(
+            [SweepJob("a", trace, config)], workers=1, cache=cache
+        )
+        assert cache.hits == 0 and cache.misses == 0
+        assert not any(tmp_path.rglob("*.pkl"))
+
+    def test_corrupt_entry_is_a_miss(self, trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = make_jobs(trace, sizes=(1024,))
+        baseline = run_cells(jobs, workers=1, cache=cache)
+        (entry,) = tmp_path.rglob("*.pkl")
+        entry.write_bytes(b"not a pickle")
+        again = run_cells(jobs, workers=1, cache=cache)
+        assert cache.hits == 0
+        assert again["sp_1024"].total_ms == baseline["sp_1024"].total_ms
+
+    def test_unwritable_root_degrades_to_no_cache(self, trace):
+        cache = ResultCache("/proc/nonexistent/repro-cache")
+        jobs = make_jobs(trace, sizes=(1024,))
+        out = run_cells(jobs, workers=1, cache=cache)
+        assert out["sp_1024"].total_faults > 0
+        assert cache.hits == 0
+
+    def test_traceref_key_is_stable(self):
+        ref = TraceRef("gdb", seed=1)
+        config = SimulationConfig(memory_pages=16)
+        assert cell_cache_key(ref, config) == cell_cache_key(ref, config)
+        assert cell_cache_key(ref, config) != cell_cache_key(
+            TraceRef("gdb", seed=2), config
+        )
+
+
+class TestEnvKnobs:
+    def test_default_workers_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == 1
+
+    def test_default_workers_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert default_workers() == 6
+        assert ExecutionOptions.from_env().workers == 6
+
+    def test_default_workers_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+
+    def test_default_workers_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigError):
+            default_workers()
+
+    def test_cache_dir_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        options = ExecutionOptions.from_env()
+        assert options.cache is not None
+        assert options.cache.root == tmp_path
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert ExecutionOptions.from_env().cache is None

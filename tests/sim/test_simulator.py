@@ -372,3 +372,99 @@ class TestInvariants:
         trace = make_trace([page_addr(0)] * 100, dilation=3.0)
         result = simulate(trace, config)
         assert result.components.exec_ms == pytest.approx(300 * US)
+
+
+class TestWarmFillClamping:
+    """Regressions for the negative-slice bug in ``_build_cluster``."""
+
+    def test_scarce_idle_frames_fill_what_fits(self, base_config):
+        # One idle node with a single frame: exactly one of the six
+        # workload pages can start warm; the rest must fill from disk.
+        config = base_config.with_overrides(
+            backing="cluster",
+            cluster_nodes=2,
+            cluster_idle_frames=1,
+            memory_pages=4,
+        )
+        addrs = [page_addr(p) for p in range(6)]
+        result = run(config, addrs)
+        assert result.remote_faults == 1
+        assert result.disk_faults == 5
+
+    def test_negative_placeable_warm_fills_nothing(
+        self, base_config, monkeypatch
+    ):
+        # When free frames fall below the active node's capacity the
+        # subtraction goes negative; vpns[:negative] used to silently
+        # warm-fill a front-biased subset.  With the clamp, no pages
+        # start warm and every first touch is an honest disk fill.
+        from repro.gms.cluster import Cluster
+
+        monkeypatch.setattr(
+            Cluster, "total_free_frames", lambda self: 2
+        )
+        config = base_config.with_overrides(
+            backing="cluster", cluster_nodes=2, memory_pages=4
+        )
+        addrs = [page_addr(p) for p in range(6)]
+        result = run(config, addrs)
+        assert result.remote_faults == 0
+        assert result.disk_faults == 6
+
+
+class TestEmptyPendingSchedule:
+    """Regression: an empty arrival schedule folds instead of raising."""
+
+    def _make_state(self, config, frame):
+        from repro.sim.results import SimulationResult
+        from repro.sim.simulator import _RunState
+
+        result = SimulationResult(
+            trace_name="t",
+            scheme_label="sp_1024",
+            scheme_name="eager",
+            subpage_bytes=config.subpage_bytes,
+            page_bytes=config.page_bytes,
+            memory_pages=config.memory_pages,
+            backing=config.backing,
+            num_references=1,
+            num_runs=1,
+            event_cost_ms=0.001,
+        )
+        full_mask = (1 << (config.page_bytes // config.subpage_bytes)) - 1
+        return _RunState(
+            frames={0: frame},
+            policy=None,
+            link=None,
+            disk=None,
+            tlb=None,
+            pal=None,
+            cluster=None,
+            result=result,
+            event_ms=0.001,
+            full_mask=full_mask,
+        )
+
+    def test_touch_incomplete_folds_empty_schedule(self, base_config):
+        from repro.net.congestion import PendingArrivals
+        from repro.sim.simulator import Simulator, _Frame
+
+        sim = Simulator(base_config)
+        full_mask = (
+            1 << (base_config.page_bytes // base_config.subpage_bytes)
+        ) - 1
+        frame = _Frame(
+            valid_bits=full_mask,
+            pending=PendingArrivals(),
+            dirty=False,
+            record=None,
+            distance_from=None,
+        )
+        state = self._make_state(base_config, frame)
+        clock = sim._touch_incomplete(
+            state, 1.0, 0, frame, 0, 0, False, 1
+        )
+        assert clock == 1.0
+        assert frame.pending is None
+        assert frame.valid_bits == full_mask
+        assert state.result.components.page_wait_ms == 0.0

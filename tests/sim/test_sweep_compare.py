@@ -113,3 +113,44 @@ class TestCompare:
     def test_disk_speedup(self, small_trace, cfg):
         comparison = disk_speedup(small_trace, cfg)
         assert comparison.speedup > 1.0
+
+
+class TestDuplicateCells:
+    def test_duplicate_cell_rejected(self):
+        sweep = SweepResult()
+        sweep.add("r", "c", object())
+        with pytest.raises(ConfigError, match="already has cell"):
+            sweep.add("r", "c", object())
+
+    def test_duplicate_subpage_sizes_fail_loudly(self, small_trace, cfg):
+        with pytest.raises(ConfigError):
+            run_subpage_sweep(
+                small_trace, cfg, [1024, 1024], {"half": 0.5}
+            )
+
+
+class TestParallelSweep:
+    def test_workers_match_serial(self, small_trace, cfg):
+        serial = run_subpage_sweep(
+            small_trace, cfg, [1024, 4096],
+            {"full": 1.0, "half": 0.5},
+        )
+        parallel = run_subpage_sweep(
+            small_trace, cfg, [1024, 4096],
+            {"full": 1.0, "half": 0.5},
+            workers=4,
+        )
+        assert parallel.rows == serial.rows
+        assert parallel.columns == serial.columns
+        assert parallel.totals_ms() == serial.totals_ms()
+
+    def test_memory_sweep_workers_match_serial(self, small_trace, cfg):
+        serial = run_memory_sweep(
+            small_trace, cfg, {"full": 1.0, "quarter": 0.25}
+        )
+        parallel = run_memory_sweep(
+            small_trace, cfg, {"full": 1.0, "quarter": 0.25}, workers=2
+        )
+        assert {k: r.total_ms for k, r in parallel.items()} == {
+            k: r.total_ms for k, r in serial.items()
+        }

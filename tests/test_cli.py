@@ -38,3 +38,47 @@ class TestCli:
     def test_parser_help_mentions_paper(self):
         parser = build_parser()
         assert "Subpages" in parser.description
+
+
+class TestExecutionFlags:
+    def test_workers_and_progress(self, capsys):
+        from repro.experiments import common
+
+        common.clear_run_cache()
+        assert main(["--workers", "2", "--progress", "fig09"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 9" in captured.out
+        # Per-cell progress/timing lines went to stderr.
+        assert "done" in captured.err
+        assert "ms" in captured.err
+
+    def test_build_options_layers_env_and_flags(self, monkeypatch,
+                                                tmp_path):
+        from repro.experiments.__main__ import build_options
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        args = build_parser().parse_args(["fig01"])
+        options = build_options(args)
+        assert options.workers == 3
+        assert options.cache is None
+        assert options.progress is None
+
+        args = build_parser().parse_args(
+            ["--workers", "5", "--cache", str(tmp_path), "fig01"]
+        )
+        options = build_options(args)
+        assert options.workers == 5
+        assert options.cache is not None
+        assert str(options.cache.root) == str(tmp_path)
+
+    def test_cache_flag_skips_recomputation(self, capsys, tmp_path):
+        from repro.experiments import common
+
+        common.clear_run_cache()
+        assert main(["--cache", str(tmp_path), "fig09"]) == 0
+        capsys.readouterr()
+        common.clear_run_cache()
+        assert main(["--cache", str(tmp_path), "fig09"]) == 0
+        err = capsys.readouterr().err
+        assert "result cache: 15 hits" in err

@@ -327,3 +327,64 @@ class TestRegistry:
             report = experiment.report()
             assert isinstance(report, str)
             assert len(report) > 50
+
+
+class TestParallelPlumbing:
+    """The grid figures route their cells through the sweep executor."""
+
+    def test_fig03_grid_specs_cover_the_grid(self):
+        from repro.experiments import common
+
+        specs = fig03_memsizes.grid_specs()
+        assert len(specs) == len(common.MEMORY_FRACTIONS) * (
+            2 + len(common.SUBPAGE_SIZES)
+        )
+        assert all(spec["app"] == fig03_memsizes.APP for spec in specs)
+
+    def test_fig09_grid_specs_cover_the_grid(self):
+        from repro.trace.synth.apps import app_names
+
+        specs = fig09_allapps.grid_specs()
+        assert len(specs) == 3 * len(app_names())
+        schemes = {spec["scheme"] for spec in specs}
+        assert schemes == {"fullpage", "eager", "pipelined"}
+
+    def test_execution_scope_restores_ambient_options(self):
+        from repro.experiments import common
+        from repro.sim.parallel import ExecutionOptions
+
+        before = common.execution_options()
+        override = ExecutionOptions(workers=2)
+        with common.execution_scope(override):
+            assert common.execution_options() is override
+        assert common.execution_options() is before
+
+    def test_warm_runs_seeds_run_cached(self):
+        from repro.experiments import common
+
+        spec = {
+            "app": "gdb",
+            "memory_fraction": 0.5,
+            "scheme": "eager",
+            "subpage_bytes": 1024,
+        }
+        common.warm_runs([spec])
+        warmed = common.run_cached("gdb", 0.5, scheme="eager",
+                                   subpage_bytes=1024)
+        assert warmed.total_ms > 0
+        # The second lookup is a pure cache read (same object back).
+        assert common.run_cached("gdb", 0.5, scheme="eager",
+                                 subpage_bytes=1024) is warmed
+
+    def test_run_with_options_matches_plain_run(self):
+        from repro.sim.parallel import ExecutionOptions
+
+        experiment = get_experiment("fig09")
+        plain = experiment.run()
+        parallel = experiment.run_with(ExecutionOptions(workers=4))
+        assert [r.app for r in parallel.rows] == [
+            r.app for r in plain.rows
+        ]
+        for a, b in zip(plain.rows, parallel.rows):
+            assert b.eager_improvement == a.eager_improvement
+            assert b.pipelined_improvement == a.pipelined_improvement
