@@ -84,6 +84,46 @@ def test_parallel_sweep_throughput(benchmark, mid_trace, workers):
           f"({os.cpu_count()} host CPUs)")
 
 
+def test_disabled_instrumentation_overhead(mid_trace):
+    """Guard: the observability hooks cost <5% when not recording.
+
+    Compares the default run (no instrument, ``observe=""``) against the
+    same run with a no-op :class:`Instrument` attached — the worst case
+    for a disabled hook (every guard branch taken AND every hook
+    dispatched to an empty method).  Min-of-rounds keeps the comparison
+    robust to scheduler noise.
+    """
+    import time
+
+    from repro.obs.instrument import Instrument
+    from repro.sim.simulator import Simulator
+
+    config = SimulationConfig(
+        memory_pages=128, scheme="eager", subpage_bytes=1024
+    )
+
+    def best_of(fn, rounds=5):
+        times = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    disabled_result = simulate(mid_trace, config)
+    assert disabled_result.metrics is None
+    assert disabled_result.trace_events is None
+
+    disabled = best_of(lambda: simulate(mid_trace, config))
+    noop = best_of(
+        lambda: Simulator(config, instrument=Instrument()).run(mid_trace)
+    )
+    ratio = noop / disabled
+    print(f"\n  disabled {disabled * 1e3:.0f} ms, "
+          f"no-op instrument {noop * 1e3:.0f} ms, ratio {ratio:.3f}")
+    assert ratio < 1.05
+
+
 def test_trace_generation_throughput(benchmark):
     trace = benchmark(build_app_trace, "gdb")
     assert trace.num_runs > 10_000

@@ -14,8 +14,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instrument import Instrument
 
 
 class DiskAccessKind(enum.Enum):
@@ -79,6 +83,11 @@ class DiskModel:
     nearby_pages: int = 0
     page_bytes: int = 8192
     stats: DiskStats = field(default_factory=DiskStats)
+    #: Optional observability sink: each read publishes a per-kind
+    #: counter and a latency sample (see ``docs/OBSERVABILITY.md``).
+    instrument: "Instrument | None" = field(
+        default=None, repr=False, compare=False
+    )
     _last_page: int | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -134,6 +143,9 @@ class DiskModel:
         else:
             self.stats.random_accesses += 1
         self.stats.total_ms += latency
+        if self.instrument is not None:
+            self.instrument.counter(f"disk_reads_{kind.value}")
+            self.instrument.observe("disk_read_ms", latency)
         return latency
 
     def reset(self) -> None:

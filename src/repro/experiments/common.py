@@ -97,7 +97,10 @@ def _spec_key(app: str, memory_fraction: float, **kwargs: Any) -> tuple:
     unknown = set(merged) - set(_RUN_DEFAULTS)
     if unknown:
         raise TypeError(f"unknown run parameters: {sorted(unknown)}")
-    return (app, memory_fraction) + tuple(
+    # The ambient observe spec is part of the key: results computed with
+    # observability payloads must not shadow (or be shadowed by) plain
+    # runs of the same spec.
+    return (app, memory_fraction, execution_options().observe) + tuple(
         merged[name] for name in _RUN_DEFAULTS
     )
 
@@ -124,6 +127,7 @@ def _spec_config(
         replacement=merged["replacement"],
         protection=merged["protection"],
         tlb_entries=merged["tlb_entries"],
+        observe=execution_options().observe,
     )
 
 
@@ -171,6 +175,27 @@ def warm_runs(
 def clear_run_cache() -> None:
     """Drop the in-process run cache (tests and memory-pressure relief)."""
     _RUN_CACHE.clear()
+
+
+def harvest_observed_runs(
+    seen: set[int] | None = None,
+) -> list[SimulationResult]:
+    """Runs in the cache carrying observability payloads, in key order.
+
+    ``seen`` (ids of already-harvested results, updated in place) lets
+    the CLI collect per-experiment deltas when several experiments run
+    in one invocation.
+    """
+    harvested: list[SimulationResult] = []
+    for result in _RUN_CACHE.values():
+        if result.metrics is None and result.trace_events is None:
+            continue
+        if seen is not None:
+            if id(result) in seen:
+                continue
+            seen.add(id(result))
+        harvested.append(result)
+    return harvested
 
 
 def run_cached(

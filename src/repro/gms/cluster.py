@@ -16,12 +16,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import CapacityError, GmsError
 from repro.gms.directory import GlobalCacheDirectory, PageOwnershipDirectory
 from repro.gms.epoch import EpochManager, EpochParams
 from repro.gms.ids import NodeId, PageUid
 from repro.gms.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instrument import Instrument
 
 
 class PageLocation(enum.Enum):
@@ -66,12 +70,18 @@ class ClusterStats:
 
 
 class Cluster:
-    """A set of GMS nodes sharing their memory."""
+    """A set of GMS nodes sharing their memory.
+
+    ``instrument`` optionally receives per-operation counters
+    (``gms_getpage_*`` / ``gms_putpages``); cumulative protocol stats are
+    always available in :attr:`stats`.
+    """
 
     def __init__(
         self,
         epoch_params: EpochParams | None = None,
         seed: int = 0,
+        instrument: "Instrument | None" = None,
     ) -> None:
         self._nodes: dict[NodeId, Node] = {}
         self._pod: PageOwnershipDirectory | None = None
@@ -79,6 +89,7 @@ class Cluster:
         self._epoch = EpochManager(epoch_params, seed=seed)
         self.stats = ClusterStats()
         self._dirty: set[PageUid] = set()
+        self._ins = instrument
 
     # -- construction ------------------------------------------------------
 
@@ -207,6 +218,10 @@ class Cluster:
         self.stats.messages += count
         return count
 
+    def _observe_get(self, location: PageLocation) -> None:
+        if self._ins is not None:
+            self._ins.counter(f"gms_getpage_{location.name.lower()}")
+
     def getpage(
         self, requester: NodeId, uid: PageUid, now: float
     ) -> GetPageResult:
@@ -227,6 +242,7 @@ class Cluster:
             messages += self._msg(manager, requester)
             req_node.add_local(uid, now)
             self.directory.update(uid, requester)
+            self._observe_get(PageLocation.DISK)
             return GetPageResult(uid, PageLocation.DISK, None, messages)
         holder_id = self.directory.lookup(uid)
         holder = self.node(holder_id)
@@ -235,6 +251,7 @@ class Cluster:
             holder.promote_to_local(uid, now)
             self.stats.local_global_hits += 1
             self.directory.update(uid, requester)
+            self._observe_get(PageLocation.LOCAL_GLOBAL)
             return GetPageResult(
                 uid, PageLocation.LOCAL_GLOBAL, requester, messages
             )
@@ -250,6 +267,7 @@ class Cluster:
             messages += self._msg(holder_id, requester)
             req_node.add_local(uid, now)
             self.stats.remote_hits += 1
+            self._observe_get(PageLocation.REMOTE_MEMORY)
             return GetPageResult(
                 uid, PageLocation.REMOTE_MEMORY, holder_id, messages
             )
@@ -262,6 +280,7 @@ class Cluster:
         req_node.add_local(uid, now)
         self.directory.update(uid, requester)
         self.stats.remote_hits += 1
+        self._observe_get(PageLocation.REMOTE_MEMORY)
         return GetPageResult(
             uid, PageLocation.REMOTE_MEMORY, holder_id, messages
         )
@@ -280,6 +299,8 @@ class Cluster:
         node had room).
         """
         self.stats.putpages += 1
+        if self._ins is not None:
+            self._ins.counter("gms_putpages")
         evictor = self.node(evicting)
         if evictor.holds_local(uid):
             evictor.drop_local(uid)

@@ -19,8 +19,12 @@ its own wire time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instrument import Instrument
 
 
 @dataclass(slots=True)
@@ -64,11 +68,17 @@ class PendingArrivals:
 
 
 class LinkModel:
-    """The faulting node's shared receive link."""
+    """The faulting node's shared receive link.
 
-    def __init__(self) -> None:
+    An optional :class:`~repro.obs.instrument.Instrument` receives an
+    ``on_transfer`` event per demand/background transfer; ``None`` (the
+    default) costs a single branch per transfer.
+    """
+
+    def __init__(self, instrument: "Instrument | None" = None) -> None:
         self._busy_until = 0.0
         self._in_flight: list[PendingArrivals] = []
+        self._ins = instrument
         #: Total background delay added by queueing (for diagnostics).
         self.total_queueing_delay_ms = 0.0
         #: Total delay pushed onto background transfers by demand traffic.
@@ -82,7 +92,9 @@ class LinkModel:
             p for p in self._in_flight if p.wire_end_ms > now_ms
         ]
 
-    def demand(self, ready_ms: float, wire_ms: float) -> None:
+    def demand(
+        self, ready_ms: float, wire_ms: float, page: int | None = None
+    ) -> None:
         """Account a demand transfer occupying the wire for ``wire_ms``.
 
         The demand transfer itself is never delayed (the program is blocked
@@ -101,12 +113,17 @@ class LinkModel:
             # The preempted background traffic finishes later too.
             self._busy_until += wire_ms
         self._busy_until = max(self._busy_until, ready_ms + wire_ms)
+        if self._ins is not None:
+            self._ins.on_transfer(
+                "demand", ready_ms, ready_ms + wire_ms, page=page
+            )
 
     def background(
         self,
         ready_ms: float,
         wire_ms: float,
         pending: PendingArrivals,
+        page: int | None = None,
     ) -> float:
         """Schedule a background transfer; returns its queueing delay.
 
@@ -126,6 +143,11 @@ class LinkModel:
         pending.wire_end_ms = max(pending.wire_end_ms, start + wire_ms)
         self._busy_until = start + wire_ms
         self._in_flight.append(pending)
+        if self._ins is not None:
+            self._ins.on_transfer(
+                "background", start, start + wire_ms,
+                page=page, queue_delay_ms=delay,
+            )
         return delay
 
     @property

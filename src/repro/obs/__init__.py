@@ -1,0 +1,61 @@
+"""Structured observability for the simulator stack.
+
+The paper's evidence is per-fault timing; this package turns a run's
+fault path into data instead of aggregates:
+
+* :mod:`repro.obs.instrument` — the no-op-by-default :class:`Instrument`
+  hook protocol the substrate models publish into, and the standard
+  :class:`Recorder` implementation;
+* :mod:`repro.obs.metrics` — a mergeable counters/gauges/histograms
+  registry;
+* :mod:`repro.obs.tracing` — the normalized event stream plus JSONL and
+  Chrome trace-event (Perfetto) serialization;
+* :mod:`repro.obs.export` — exporters for experiments that do not run
+  the simulator (Figure 2 timelines);
+* :mod:`repro.obs.validate` — structural validation of the emitted
+  artifacts, shared by tests and CI.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
+"""
+
+from repro.obs.instrument import (
+    OBSERVE_TOKENS,
+    Instrument,
+    Recorder,
+    parse_observe_spec,
+)
+from repro.obs.metrics import (
+    DEFAULT_MS_BOUNDS,
+    DISTANCE_BOUNDS,
+    METRICS_SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    write_metrics,
+)
+from repro.obs.tracing import (
+    TRACE_SCHEMA,
+    TraceWriter,
+    chrome_trace,
+    combine_groups,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_MS_BOUNDS",
+    "DISTANCE_BOUNDS",
+    "METRICS_SCHEMA",
+    "Histogram",
+    "Instrument",
+    "MetricsRegistry",
+    "OBSERVE_TOKENS",
+    "Recorder",
+    "TRACE_SCHEMA",
+    "TraceWriter",
+    "chrome_trace",
+    "combine_groups",
+    "parse_observe_spec",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+]

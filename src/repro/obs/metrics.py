@@ -1,0 +1,209 @@
+"""A lightweight, mergeable metrics registry.
+
+The registry is the numeric half of the observability layer
+(``docs/OBSERVABILITY.md``): counters for discrete fault-path events,
+gauges for end-of-run statistics published by the substrate models, and
+fixed-bucket histograms for distributions the paper plots directly
+(per-fault waiting times — Figure 5; next-subpage distances — Figure 7).
+
+Everything serializes to a plain-JSON dict (:meth:`MetricsRegistry.as_dict`)
+and merges associatively (:meth:`MetricsRegistry.merge`), so the parallel
+sweep executor can combine per-cell registries shipped back from worker
+processes into one batch view.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConfigError
+
+#: Schema tag written into metrics JSON files and validated by
+#: ``tools/validate_obs.py``.
+METRICS_SCHEMA = "repro.obs.metrics/v1"
+
+#: Default histogram bucket upper bounds for millisecond quantities.
+DEFAULT_MS_BOUNDS: tuple[float, ...] = (
+    0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+    10.0, 20.0, 50.0, 100.0, 1000.0,
+)
+
+#: Bucket bounds for signed next-subpage distances (Figure 7's support).
+DISTANCE_BOUNDS: tuple[float, ...] = (
+    -16.0, -8.0, -4.0, -2.0, -1.0, 0.0, 1.0, 2.0, 4.0, 8.0, 16.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram with an overflow bucket.
+
+    ``bounds`` are inclusive upper edges; a value lands in the first
+    bucket whose bound is >= the value, or in the final overflow bucket.
+    Histograms with identical bounds merge exactly.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_MS_BOUNDS) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ConfigError("a histogram needs at least one bound")
+        if list(self.bounds) != sorted(self.bounds):
+            raise ConfigError("histogram bounds must be sorted ascending")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def add(self, value: float, count: int = 1) -> None:
+        if count <= 0:
+            return
+        self.counts[bisect_left(self.bounds, value)] += count
+        self.count += count
+        self.total += value * count
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ConfigError(
+                "cannot merge histograms with different bounds"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        for name in ("min", "max"):
+            theirs = getattr(other, name)
+            ours = getattr(self, name)
+            if theirs is not None:
+                pick = min if name == "min" else max
+                setattr(
+                    self, name,
+                    theirs if ours is None else pick(ours, theirs),
+                )
+
+    @property
+    def mean(self) -> float:
+        return 0.0 if not self.count else self.total / self.count
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        hist = cls(bounds=data["bounds"])
+        counts = list(data["counts"])
+        if len(counts) != len(hist.counts):
+            raise ConfigError("histogram counts do not match bounds")
+        hist.counts = [int(c) for c in counts]
+        hist.count = int(data["count"])
+        hist.total = float(data["sum"])
+        hist.min = data.get("min")
+        hist.max = data.get("max")
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Histogram n={self.count} mean={self.mean:.3g}>"
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms for one run (or a merged batch)."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- writing -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        count: int = 1,
+        bounds: Iterable[float] | None = None,
+    ) -> None:
+        """Add ``value`` (``count`` times) to the named histogram.
+
+        ``bounds`` applies only when the histogram is first created.
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(
+                bounds if bounds is not None else DEFAULT_MS_BOUNDS
+            )
+        hist.add(value, count)
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                clone = Histogram(hist.bounds)
+                clone.merge(hist)
+                self.histograms[name] = clone
+            else:
+                mine.merge(hist)
+
+    def merge_dict(self, data: Mapping[str, Any]) -> None:
+        """Merge a registry previously serialized with :meth:`as_dict`."""
+        self.merge(MetricsRegistry.from_dict(data))
+
+    # -- serialization -----------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.as_dict()
+                for name, hist in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        registry.counters.update(data.get("counters", {}))
+        registry.gauges.update(data.get("gauges", {}))
+        for name, hist in data.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_dict(hist)
+        return registry
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MetricsRegistry {len(self.counters)}c "
+            f"{len(self.gauges)}g {len(self.histograms)}h>"
+        )
+
+
+def write_metrics(path: str | Path, registry: MetricsRegistry) -> None:
+    """Write a registry to ``path`` as schema-tagged JSON."""
+    payload = {"schema": METRICS_SCHEMA, **registry.as_dict()}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )

@@ -1,0 +1,233 @@
+"""Event-stream half of the observability layer.
+
+:class:`TraceWriter` accumulates normalized event dicts (one per fault,
+stall, transfer, eviction, or timeline span) in simulated milliseconds.
+The normalized stream serializes two ways:
+
+* :func:`write_jsonl` — one JSON object per line, schema
+  ``repro.obs.trace/v1`` (see ``docs/OBSERVABILITY.md``), for ad-hoc
+  analysis with ``jq``/pandas;
+* :func:`chrome_trace` — Chrome trace-event JSON, loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Each simulated node
+  becomes a process; within a node, CPU stalls, demand wire, background
+  wire, and disk each get a track (thread).
+
+Durations use ``"X"`` complete events; point events (faults, evictions)
+use ``"i"`` instants.  Timestamps convert from simulated milliseconds to
+trace microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+#: Schema tag written into JSONL headers and validated by
+#: ``tools/validate_obs.py``.
+TRACE_SCHEMA = "repro.obs.trace/v1"
+
+#: Event type -> (tid, track name) for the standard simulator tracks.
+_TRACKS: dict[str, tuple[int, str]] = {
+    "stall": (1, "CPU stalls"),
+    "fault": (1, "CPU stalls"),
+    "eviction": (1, "CPU stalls"),
+    "transfer:demand": (2, "demand wire"),
+    "transfer:background": (3, "background wire"),
+    "transfer:disk": (4, "disk"),
+}
+
+#: First tid handed out to ad-hoc ``track`` labels (timeline spans).
+_DYNAMIC_TID_BASE = 10
+
+
+class TraceWriter:
+    """Collects normalized trace events for one run.
+
+    Every event is a plain dict with at least ``type``, ``t_ms``,
+    ``dur_ms``, and ``node`` keys; extra keyword fields ride along and
+    end up in the Chrome event's ``args``.  ``max_events`` (optional)
+    caps memory for very long runs — overflow events are counted in
+    :attr:`dropped` rather than stored.
+    """
+
+    __slots__ = ("events", "max_events", "dropped")
+
+    def __init__(self, max_events: int | None = None) -> None:
+        self.events: list[dict[str, Any]] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def emit(
+        self,
+        etype: str,
+        t_ms: float,
+        dur_ms: float = 0.0,
+        node: int = 0,
+        **fields: Any,
+    ) -> None:
+        if (
+            self.max_events is not None
+            and len(self.events) >= self.max_events
+        ):
+            self.dropped += 1
+            return
+        event: dict[str, Any] = {
+            "type": etype, "t_ms": t_ms, "dur_ms": dur_ms, "node": node,
+        }
+        event.update(fields)
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def combine_groups(
+    groups: Iterable[tuple[str, Sequence[Mapping[str, Any]]]],
+) -> tuple[list[dict[str, Any]], dict[int, str]]:
+    """Flatten labelled event groups onto distinct process ids.
+
+    Each ``(label, events)`` group — one simulated run, or one timeline
+    case — is assigned the next process id so its tracks do not collide
+    with other groups in the merged trace.  Returns the remapped events
+    plus a ``pid -> label`` mapping for :func:`chrome_trace`.
+    """
+    events: list[dict[str, Any]] = []
+    names: dict[int, str] = {}
+    for pid, (label, group) in enumerate(groups):
+        names[pid] = label
+        for event in group:
+            remapped = dict(event)
+            remapped["node"] = pid
+            events.append(remapped)
+    return events, names
+
+
+def _event_track(event: Mapping[str, Any]) -> tuple[int, str] | None:
+    track = event.get("track")
+    if track is not None:
+        return None  # dynamic; resolved by the caller
+    etype = event["type"]
+    if etype == "transfer":
+        etype = f"transfer:{event.get('kind', 'demand')}"
+    return _TRACKS.get(etype, (1, "CPU stalls"))
+
+
+def _event_name(event: Mapping[str, Any]) -> str:
+    etype = event["type"]
+    label = event.get("label")
+    if label:
+        return str(label)
+    page = event.get("page")
+    kind = event.get("kind")
+    name = etype
+    if kind and etype != "transfer":
+        name = f"{etype} ({kind})"
+    elif kind:
+        name = f"{kind} transfer"
+    if page is not None:
+        name = f"{name} p{page}"
+    return name
+
+
+def chrome_trace(
+    events: Iterable[Mapping[str, Any]],
+    process_names: Mapping[int, str] | None = None,
+) -> dict[str, Any]:
+    """Convert normalized events to a Chrome trace-event JSON object.
+
+    ``process_names`` optionally labels each node/process (e.g. with the
+    trace/scheme of the run mapped onto that pid).
+    """
+    trace_events: list[dict[str, Any]] = []
+    seen_tracks: dict[tuple[int, int], str] = {}
+    dynamic_tids: dict[tuple[int, str], int] = {}
+
+    for event in events:
+        pid = int(event.get("node", 0))
+        resolved = _event_track(event)
+        if resolved is None:
+            track = str(event["track"])
+            key = (pid, track)
+            tid = dynamic_tids.get(key)
+            if tid is None:
+                tid = _DYNAMIC_TID_BASE + sum(
+                    1 for k in dynamic_tids if k[0] == pid
+                )
+                dynamic_tids[key] = tid
+            track_name = track
+        else:
+            tid, track_name = resolved
+        seen_tracks.setdefault((pid, tid), track_name)
+
+        ts_us = float(event["t_ms"]) * 1000.0
+        dur_us = float(event.get("dur_ms", 0.0)) * 1000.0
+        args = {
+            k: v
+            for k, v in event.items()
+            if k not in ("type", "t_ms", "dur_ms", "node", "track", "label")
+        }
+        chrome: dict[str, Any] = {
+            "name": _event_name(event),
+            "cat": event["type"],
+            "pid": pid,
+            "tid": tid,
+            "ts": ts_us,
+            "args": args,
+        }
+        if dur_us > 0.0:
+            chrome["ph"] = "X"
+            chrome["dur"] = dur_us
+        else:
+            chrome["ph"] = "i"
+            chrome["s"] = "t"
+        trace_events.append(chrome)
+
+    metadata: list[dict[str, Any]] = []
+    pids = sorted({pid for pid, _tid in seen_tracks})
+    names = dict(process_names or {})
+    for pid in pids:
+        metadata.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": names.get(pid, f"node {pid}")},
+        })
+    for (pid, tid), track_name in sorted(seen_tracks.items()):
+        metadata.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": track_name},
+        })
+        metadata.append({
+            "name": "thread_sort_index", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"sort_index": tid},
+        })
+
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    events: Iterable[Mapping[str, Any]],
+    process_names: Mapping[int, str] | None = None,
+) -> None:
+    """Write events to ``path`` as Chrome trace-event JSON."""
+    payload = chrome_trace(events, process_names)
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def write_jsonl(
+    path: str | Path,
+    events: Iterable[Mapping[str, Any]],
+    header: Mapping[str, Any] | None = None,
+) -> None:
+    """Write events to ``path`` as JSON lines with a schema header."""
+    meta: dict[str, Any] = {"type": "meta", "schema": TRACE_SCHEMA}
+    if header:
+        meta.update(header)
+    with Path(path).open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(meta) + "\n")
+        for event in events:
+            fh.write(json.dumps(dict(event)) + "\n")

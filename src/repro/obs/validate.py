@@ -1,0 +1,153 @@
+"""Schema validation for emitted observability artifacts.
+
+Hand-rolled structural checks (no external schema libraries) for the
+three file formats the CLI writes: Chrome trace-event JSON, the JSONL
+event stream, and the metrics-registry JSON.  ``tools/validate_obs.py``
+wraps these for CI; tests call them directly.
+
+Each ``validate_*`` function returns a list of human-readable problems —
+empty means valid.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+_PHASES = {"X", "i", "I", "M"}
+
+#: Event types allowed in the normalized JSONL stream.
+_EVENT_TYPES = {
+    "meta", "fault", "stall", "transfer", "eviction", "span", "resume",
+}
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Structural checks for a Chrome trace-event JSON object."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return ["top level must be a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    non_meta = 0
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int) or not isinstance(
+            event.get("tid"), int
+        ):
+            problems.append(f"{where}: pid/tid must be integers")
+        if ph == "M":
+            continue
+        non_meta += 1
+        if not _is_number(event.get("ts")):
+            problems.append(f"{where}: ts must be a number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not _is_number(dur) or dur < 0:
+                problems.append(f"{where}: X event needs dur >= 0")
+    if not problems and non_meta == 0:
+        problems.append("trace contains only metadata events")
+    return problems
+
+
+def validate_jsonl(text: str) -> list[str]:
+    """Structural checks for a normalized JSONL event stream."""
+    problems: list[str] = []
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        return ["file is empty"]
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{where}: invalid JSON ({exc})")
+            continue
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        etype = event.get("type")
+        if etype not in _EVENT_TYPES:
+            problems.append(f"{where}: unknown event type {etype!r}")
+            continue
+        if i == 0 and etype != "meta":
+            problems.append("line 1: first record must be a meta header")
+        if etype == "meta":
+            continue
+        if not _is_number(event.get("t_ms")):
+            problems.append(f"{where}: t_ms must be a number")
+        if not _is_number(event.get("dur_ms", 0.0)):
+            problems.append(f"{where}: dur_ms must be a number")
+        if not isinstance(event.get("node", 0), int):
+            problems.append(f"{where}: node must be an integer")
+    return problems
+
+
+def _validate_histogram(name: str, hist: Any) -> list[str]:
+    problems: list[str] = []
+    where = f"histogram {name!r}"
+    if not isinstance(hist, dict):
+        return [f"{where}: not an object"]
+    bounds = hist.get("bounds")
+    counts = hist.get("counts")
+    if not isinstance(bounds, list) or not all(
+        _is_number(b) for b in bounds
+    ):
+        return [f"{where}: bounds must be a list of numbers"]
+    if bounds != sorted(bounds):
+        problems.append(f"{where}: bounds must be sorted")
+    if not isinstance(counts, list) or len(counts) != len(bounds) + 1:
+        problems.append(
+            f"{where}: counts must have len(bounds)+1 entries"
+        )
+    elif not all(isinstance(c, int) and c >= 0 for c in counts):
+        problems.append(f"{where}: counts must be non-negative integers")
+    elif hist.get("count") != sum(counts):
+        problems.append(f"{where}: count != sum(counts)")
+    if not _is_number(hist.get("sum")):
+        problems.append(f"{where}: sum must be a number")
+    return problems
+
+
+def validate_metrics(obj: Any) -> list[str]:
+    """Structural checks for a serialized metrics registry."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return ["top level must be a JSON object"]
+    for section in ("counters", "gauges"):
+        values = obj.get(section, {})
+        if not isinstance(values, dict):
+            problems.append(f"{section} must be an object")
+            continue
+        for name, value in values.items():
+            if not _is_number(value):
+                problems.append(
+                    f"{section}[{name!r}] must be a number"
+                )
+    histograms = obj.get("histograms", {})
+    if not isinstance(histograms, dict):
+        problems.append("histograms must be an object")
+    else:
+        for name, hist in histograms.items():
+            problems.extend(_validate_histogram(name, hist))
+    if not problems and not any(
+        obj.get(k) for k in ("counters", "gauges", "histograms")
+    ):
+        problems.append("metrics object is empty")
+    return problems

@@ -71,6 +71,12 @@ class SimulationConfig:
     record_faults / track_distances:
         Per-fault records (Figures 5-6) and the next-subpage distance
         histogram (Figure 7); cheap, on by default.
+    observe:
+        Comma-separated observability spec (``""`` disables — the
+        default; ``"trace"``, ``"metrics"``, or ``"trace,metrics"``).
+        When set, the run builds a :class:`~repro.obs.instrument.Recorder`
+        and attaches its output to ``SimulationResult.trace_events`` /
+        ``.metrics``.  See ``docs/OBSERVABILITY.md``.
     """
 
     memory_pages: int
@@ -105,6 +111,7 @@ class SimulationConfig:
     shared_from_page: int | None = None
     record_faults: bool = True
     track_distances: bool = True
+    observe: str = ""
     seed: int = 0
     name: str = ""
 
@@ -139,6 +146,10 @@ class SimulationConfig:
             raise ConfigError("cluster_node_id cannot be negative")
         if self.shared_from_page is not None and self.shared_from_page < 0:
             raise ConfigError("shared_from_page cannot be negative")
+        if self.observe:
+            from repro.obs.instrument import parse_observe_spec
+
+            parse_observe_spec(self.observe)
 
     def build_scheme(self) -> FetchScheme:
         return make_scheme(self.scheme, **self.scheme_kwargs)

@@ -48,9 +48,15 @@ ENV_WORKERS = "REPRO_WORKERS"
 #: Environment variable naming the default on-disk cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
+#: Environment variable naming a directory for per-experiment trace and
+#: metrics files (enables observability on CLI runs).
+ENV_TRACE_DIR = "REPRO_TRACE_DIR"
+
 #: Bumped whenever simulator semantics change in a way that invalidates
-#: previously cached results.
-CACHE_VERSION = 1
+#: previously cached results.  v2: lazy-scheme follow-on arrivals route
+#: through the congestion model (wire_end_ms fix) and results carry
+#: observability payload fields.
+CACHE_VERSION = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -233,15 +239,30 @@ class ResultCache:
 
 @dataclass(slots=True)
 class ExecutionOptions:
-    """How sweep cells should be executed (workers, cache, progress)."""
+    """How sweep cells should be executed (workers, cache, progress).
+
+    ``observe`` is an observability spec applied to every config the
+    experiment helpers build (see ``SimulationConfig.observe``);
+    ``trace_dir`` asks the CLI to write per-experiment trace/metrics
+    files into a directory (``REPRO_TRACE_DIR``), implying
+    ``observe="metrics,trace"`` unless set explicitly.
+    """
 
     workers: int = 1
     cache: ResultCache | None = None
     progress: ProgressCallback | None = None
+    observe: str = ""
+    trace_dir: str | None = None
 
     @classmethod
     def from_env(cls) -> "ExecutionOptions":
-        return cls(workers=default_workers(), cache=default_cache())
+        trace_dir = os.environ.get(ENV_TRACE_DIR, "").strip() or None
+        return cls(
+            workers=default_workers(),
+            cache=default_cache(),
+            observe="metrics,trace" if trace_dir else "",
+            trace_dir=trace_dir,
+        )
 
 
 def _execute(
@@ -318,13 +339,17 @@ def run_cells(
     workers: int | None = None,
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
+    metrics: Any | None = None,
 ) -> dict[Any, SimulationResult]:
     """Execute sweep cells, in parallel when asked, returning by key.
 
     ``workers=None`` reads ``REPRO_WORKERS`` (default 1); ``workers<=1``
     runs inline.  When a ``cache`` is given, cacheable cells are served
     from it and newly computed results are written through.  Every cell
-    reports a :class:`CellEvent` to ``progress``.
+    reports a :class:`CellEvent` to ``progress``.  ``metrics`` may be a
+    :class:`repro.obs.metrics.MetricsRegistry`: each cell whose config
+    enabled metrics collection merges its registry into it (cache hits
+    included), giving a batch-wide view.
 
     Results are identical to running :func:`simulate` serially on each
     cell in job order, whatever the worker count.
@@ -362,4 +387,10 @@ def run_cells(
         if cache is not None and ckey is not None:
             cache.put(ckey, result)
         _emit(progress, CellEvent(job.key, inline_status, elapsed))
-    return {job.key: results[job.key] for job in jobs}
+    ordered = {job.key: results[job.key] for job in jobs}
+    if metrics is not None:
+        for result in ordered.values():
+            payload = getattr(result, "metrics", None)
+            if payload:
+                metrics.merge_dict(payload)
+    return ordered

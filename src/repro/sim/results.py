@@ -96,6 +96,12 @@ class SimulationResult:
     emulation_stats: dict[str, float] = field(default_factory=dict)
     cluster_stats: dict[str, float] = field(default_factory=dict)
 
+    # Observability payloads (``SimulationConfig.observe``): a serialized
+    # metrics registry (``repro.obs.metrics.MetricsRegistry.as_dict``)
+    # and the normalized trace-event stream.  ``None`` when disabled.
+    metrics: dict[str, Any] | None = None
+    trace_events: list[dict[str, Any]] | None = None
+
     # -- headline numbers --------------------------------------------------
 
     @property
@@ -157,7 +163,10 @@ class SimulationResult:
             "disk_faults": self.disk_faults,
             "subpage_faults": self.subpage_faults,
             "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+            "cancelled_transfers": self.cancelled_transfers,
             "overlapped_faults": self.overlapped_faults,
+            "link_stats": dict(self.link_stats),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

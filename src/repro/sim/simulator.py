@@ -25,6 +25,7 @@ from repro.gms.cluster import Cluster, PageLocation
 from repro.gms.ids import PageUid
 from repro.net.congestion import LinkModel, PendingArrivals
 from repro.net.latency import CalibratedLatencyModel
+from repro.obs.instrument import Instrument, Recorder
 from repro.palcode.emulator import PalEmulator
 from repro.sim.config import SimulationConfig
 from repro.sim.replacement import make_policy
@@ -67,14 +68,24 @@ class Simulator:
     for ``backing="cluster"`` runs; the caller is then responsible for
     node layout and warm-filling.  Without it, the simulator builds a
     private warm cluster per run.
+
+    ``instrument`` optionally receives fault-path observability hooks
+    (see :mod:`repro.obs.instrument`).  When it is ``None`` but
+    ``config.observe`` is set, each run builds its own
+    :class:`~repro.obs.instrument.Recorder` and attaches the collected
+    trace events / metrics to the returned result.
     """
 
     def __init__(
-        self, config: SimulationConfig, cluster: Cluster | None = None
+        self,
+        config: SimulationConfig,
+        cluster: Cluster | None = None,
+        instrument: Instrument | None = None,
     ) -> None:
         config.validate()
         self.config = config
         self._external_cluster = cluster
+        self._instrument = instrument
         self.scheme = config.build_scheme()
         self.latency = (
             config.latency_model
@@ -111,12 +122,24 @@ class Simulator:
 
         full_mask = (1 << (cfg.page_bytes // cfg.subpage_bytes)) - 1
 
+        ins = self._instrument
+        recorder: Recorder | None = None
+        if ins is None and cfg.observe:
+            recorder = Recorder.from_spec(
+                cfg.observe, node=cfg.cluster_node_id
+            )
+            ins = recorder
+
         policy = make_policy(cfg.replacement, seed=cfg.seed)
-        link = LinkModel()
+        link = LinkModel(instrument=ins)
         disk = cfg.disk_model if cfg.disk_model is not None else paper_disk(
             cfg.page_bytes
         )
         disk.reset()
+        if cfg.disk_model is None and ins is not None:
+            # Only the simulator-owned preset disk is instrumented; a
+            # caller-supplied model keeps whatever instrument it carries.
+            disk.instrument = ins
         tlb = (
             TlbModel(cfg.tlb_entries, cfg.tlb_miss_ns)
             if cfg.tlb_entries > 0
@@ -128,7 +151,7 @@ class Simulator:
             cluster = (
                 self._external_cluster
                 if self._external_cluster is not None
-                else self._build_cluster(trace)
+                else self._build_cluster(trace, ins)
             )
 
         frames: dict[int, _Frame] = {}
@@ -155,6 +178,7 @@ class Simulator:
             result=result,
             event_ms=event_ms,
             full_mask=full_mask,
+            ins=ins,
         )
 
         clock = 0.0
@@ -202,6 +226,11 @@ class Simulator:
             clock += count * event_ms
 
         self._finalize(state, clock)
+        if recorder is not None:
+            if recorder.metrics is not None:
+                result.metrics = recorder.metrics.as_dict()
+            if recorder.trace is not None:
+                result.trace_events = recorder.trace.events
         return result
 
     # -- fault handling ------------------------------------------------------
@@ -267,6 +296,7 @@ class Simulator:
                 state.link.demand(
                     clock + self.latency.request_fixed_ms,
                     plan.demand_wire_ms,
+                    page=page,
                 )
             resume = plan.resume_ms
             valid_bits = 0
@@ -288,6 +318,7 @@ class Simulator:
                         plan.background_ready_ms,
                         plan.background_wire_ms,
                         pending,
+                        page=page,
                     )
             record = FaultRecord(
                 page=page,
@@ -314,6 +345,8 @@ class Simulator:
         state.stalls.append((clock, resume))
         if cfg.record_faults:
             result.fault_records.append(record)
+        if state.ins is not None:
+            state.ins.on_fault(record)
         result.components.sp_latency_ms += record.sp_latency_ms
         result.components.cpu_overhead_ms += record.cpu_overhead_ms
         frames[page] = frame
@@ -347,6 +380,8 @@ class Simulator:
                 state.stalls.append((clock, arrival))
                 if frame.record is not None:
                     frame.record.add_page_wait(clock, arrival)
+                if state.ins is not None:
+                    state.ins.on_stall(clock, arrival, "page_wait", page)
                 result.components.page_wait_ms += arrival - clock
                 clock = arrival
                 frame.valid_bits |= 1 << sp
@@ -415,16 +450,50 @@ class Simulator:
         plan = self.scheme.plan_fault(ctx)
         if cfg.congestion:
             state.link.demand(
-                clock + self.latency.request_fixed_ms, plan.demand_wire_ms
+                clock + self.latency.request_fixed_ms,
+                plan.demand_wire_ms,
+                page=page,
             )
         resume = plan.resume_ms
+        follow: dict[int, float] = {}
         for index, arrival in plan.arrivals_ms.items():
             if arrival <= resume:
                 frame.valid_bits |= 1 << index
             else:
-                if frame.pending is None:
-                    frame.pending = PendingArrivals()
-                frame.pending.arrival_ms[index] = arrival
+                follow[index] = arrival
+        window_end = resume
+        if follow:
+            # Follow-on arrivals ride the shared link exactly like a page
+            # fault's background transfer: register a fresh schedule with
+            # the link model (so it queues behind in-flight traffic, can
+            # be preempted by demand transfers, and carries a real
+            # wire_end_ms for _reap/_evict accounting)...
+            pending = PendingArrivals(
+                arrival_ms=follow,
+                wire_end_ms=plan.background_ready_ms
+                + plan.background_wire_ms,
+            )
+            if cfg.congestion and plan.background_wire_ms > 0:
+                state.link.background(
+                    plan.background_ready_ms,
+                    plan.background_wire_ms,
+                    pending,
+                    page=page,
+                )
+            window_end = max(pending.arrival_ms.values())
+            if frame.pending is None:
+                frame.pending = pending
+            else:
+                # ... then fold it into the page's existing schedule.
+                # The link keeps shifting the registered (fresh) object;
+                # post-merge demand preemption does not propagate to the
+                # merged copy.  Built-in schemes never reach this corner
+                # (a subpage fault implies the earlier plan requested
+                # only a subset of the page, i.e. no pending schedule).
+                frame.pending.arrival_ms.update(pending.arrival_ms)
+                frame.pending.wire_end_ms = max(
+                    frame.pending.wire_end_ms, pending.wire_end_ms
+                )
         record = FaultRecord(
             page=page,
             subpage=sp,
@@ -432,12 +501,14 @@ class Simulator:
             time_ms=clock,
             sp_latency_ms=resume - clock,
             window_start_ms=resume,
-            window_end_ms=resume,
+            window_end_ms=window_end,
             cpu_overhead_ms=plan.cpu_overhead_ms,
         )
         state.stalls.append((clock, resume))
         if cfg.record_faults:
             state.result.fault_records.append(record)
+        if state.ins is not None:
+            state.ins.on_fault(record)
         state.result.subpage_faults += 1
         state.result.components.sp_latency_ms += record.sp_latency_ms
         state.result.components.cpu_overhead_ms += record.cpu_overhead_ms
@@ -457,14 +528,17 @@ class Simulator:
         victim = state.policy.evict(prefer=transfers_done)
         frame = frames.pop(victim)
         state.result.evictions += 1
-        if (
+        cancelled = (
             frame.pending is not None
-            and frame.pending.arrival_ms
+            and bool(frame.pending.arrival_ms)
             and frame.pending.latest() > clock
-        ):
+        )
+        if cancelled:
             state.result.cancelled_transfers += 1
         if frame.dirty:
             state.result.dirty_evictions += 1
+        if state.ins is not None:
+            state.ins.on_eviction(clock, victim, frame.dirty, cancelled)
         if state.tlb is not None:
             state.tlb.invalidate(victim)
         if state.cluster is not None:
@@ -491,9 +565,11 @@ class Simulator:
             return PageUid(SHARED_ORIGIN, page)
         return PageUid(cfg.cluster_node_id, page)
 
-    def _build_cluster(self, trace: RunTrace) -> Cluster:
+    def _build_cluster(
+        self, trace: RunTrace, instrument: Instrument | None = None
+    ) -> Cluster:
         cfg = self.config
-        cluster = Cluster(seed=cfg.seed)
+        cluster = Cluster(seed=cfg.seed, instrument=instrument)
         footprint = trace.footprint_pages()
         idle_total = (
             cfg.cluster_idle_frames
@@ -563,6 +639,16 @@ class Simulator:
         for record in result.fault_records:
             if record.window_end_ms > clock:
                 record.window_end_ms = clock
+        if state.ins is not None:
+            ins = state.ins
+            ins.publish("link", result.link_stats)
+            if result.tlb_stats:
+                ins.publish("tlb", result.tlb_stats)
+            if result.emulation_stats:
+                ins.publish("emulation", result.emulation_stats)
+            if result.cluster_stats:
+                ins.publish("cluster", result.cluster_stats)
+            ins.on_run_end(result)
 
 
 @dataclass(slots=True)
@@ -579,6 +665,7 @@ class _RunState:
     result: SimulationResult
     event_ms: float
     full_mask: int
+    ins: Instrument | None = None
 
     @property
     def stalls(self) -> list[tuple[float, float]]:

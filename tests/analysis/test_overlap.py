@@ -112,3 +112,43 @@ class TestAttribution:
         att = attribute_overlap(res)
         assert 0.0 <= att.io_share <= 1.0
         assert att.num_windows > 0
+
+
+class TestOverlappedFaultsEndToEnd:
+    """Overlapped-fault attribution on a hand-computed simulator run.
+
+    With the fixed latency model (conftest) and congestion on, page 0's
+    eager rest-of-page transfer occupies the wire until 1.25 ms; page
+    1's fault at 0.505 ms therefore finds the link busy and is counted
+    as overlapping another transfer.
+    """
+
+    def run(self, base_config):
+        from repro.sim.simulator import simulate
+
+        from tests.conftest import make_trace, page_addr
+
+        addrs = [page_addr(0)] * 5 + [page_addr(1)] * 5
+        config = base_config.with_overrides(congestion=True)
+        return simulate(make_trace(addrs), config)
+
+    def test_overlap_flags_and_count(self, base_config):
+        res = self.run(base_config)
+        assert res.remote_faults == 2
+        assert res.overlapped_faults == 1
+        assert [r.overlapped_another for r in res.fault_records] == [
+            False, True,
+        ]
+
+    def test_attribution_matches_hand_computation(self, base_config):
+        res = self.run(base_config)
+        att = attribute_overlap(res)
+        assert att.num_windows == 2
+        # Page 0's window is (0.5, 1.5) clipped to the run end at 1.01;
+        # page 1's fault stalls (0.505, 1.005) inside it -> 0.5 ms of
+        # I/O overlap, and the remaining 0.01 + page 1's clipped 0.005
+        # window are computation.
+        assert att.io_overlap_ms == pytest.approx(0.5)
+        assert att.comp_overlap_ms == pytest.approx(0.015)
+        assert att.own_wait_ms == 0.0
+        assert att.io_share == pytest.approx(0.5 / 0.515)

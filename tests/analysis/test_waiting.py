@@ -73,6 +73,44 @@ class TestSegments:
         assert curve.segments(tolerance=0.2).best_case_faults == 1
 
 
+class TestFigure5EndToEnd:
+    """The waiting-time extraction against a hand-computed run.
+
+    Conftest fixed latencies, congestion off: page 0 faults at t=0
+    (subpage latency 0.5), then blocks for subpage 1 from 0.505 until
+    the rest of the page lands at 1.5 — waiting 0.5 + 0.995 = 1.495 ms,
+    the worst-case plateau.  Page 1 faults once and never waits again —
+    waiting 0.5 ms, the best-case plateau.
+    """
+
+    def run(self, base_config):
+        from repro.sim.simulator import simulate
+
+        from tests.conftest import make_trace, page_addr
+
+        addrs = (
+            [page_addr(0)] * 5 + [page_addr(0, 1024)] + [page_addr(1)] * 3
+        )
+        return simulate(make_trace(addrs), base_config)
+
+    def test_hand_computed_waits(self, base_config):
+        res = self.run(base_config)
+        assert list(res.waiting_times_ms()) == [
+            pytest.approx(1.495), pytest.approx(0.5),
+        ]
+        curve = waiting_curve(res, 0.5, 1.5)
+        assert curve.num_faults == 2
+        assert curve.left_intercept_ms == pytest.approx(1.495)
+        assert curve.right_intercept_ms == pytest.approx(0.5)
+
+    def test_segment_classification(self, base_config):
+        curve = waiting_curve(self.run(base_config), 0.5, 1.5)
+        seg = curve.segments()
+        assert (seg.best_case_faults, seg.middle_faults,
+                seg.worst_case_faults) == (1, 0, 1)
+        assert seg.best_case_fraction == pytest.approx(0.5)
+
+
 class TestOnRealRun:
     def test_modula3_curve_has_best_case_plateau(self):
         # "It is ... surprising that for all subpage sizes, a large

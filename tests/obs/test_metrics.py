@@ -1,0 +1,154 @@
+"""The mergeable metrics registry (counters/gauges/histograms)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    DEFAULT_MS_BOUNDS,
+    METRICS_SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    write_metrics,
+)
+from repro.obs.validate import validate_metrics
+
+
+class TestHistogram:
+    def test_bucketing_inclusive_upper_edges(self):
+        hist = Histogram(bounds=(1.0, 2.0, 5.0))
+        hist.add(0.5)   # <= 1.0 -> bucket 0
+        hist.add(1.0)   # == 1.0 -> bucket 0 (inclusive)
+        hist.add(1.5)   # <= 2.0 -> bucket 1
+        hist.add(5.0)   # == 5.0 -> bucket 2
+        hist.add(99.0)  # overflow
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+
+    def test_stats(self):
+        hist = Histogram(bounds=(10.0,))
+        hist.add(2.0)
+        hist.add(4.0, count=2)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(10.0)
+        assert hist.mean == pytest.approx(10.0 / 3)
+        assert hist.min == pytest.approx(2.0)
+        assert hist.max == pytest.approx(4.0)
+
+    def test_zero_count_ignored(self):
+        hist = Histogram(bounds=(1.0,))
+        hist.add(0.5, count=0)
+        assert hist.count == 0
+        assert hist.min is None
+
+    def test_merge(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 2.0))
+        a.add(0.5)
+        b.add(1.5)
+        b.add(9.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.min == pytest.approx(0.5)
+        assert a.max == pytest.approx(9.0)
+
+    def test_merge_into_empty_keeps_minmax(self):
+        a = Histogram(bounds=(1.0,))
+        b = Histogram(bounds=(1.0,))
+        b.add(3.0)
+        a.merge(b)
+        assert a.min == pytest.approx(3.0)
+        assert a.max == pytest.approx(3.0)
+
+    def test_merge_bounds_mismatch(self):
+        with pytest.raises(ConfigError):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigError):
+            Histogram(bounds=())
+        with pytest.raises(ConfigError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_roundtrip(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.add(0.5)
+        hist.add(7.0, count=3)
+        clone = Histogram.from_dict(hist.as_dict())
+        assert clone.as_dict() == hist.as_dict()
+
+    def test_from_dict_counts_mismatch(self):
+        data = Histogram(bounds=(1.0,)).as_dict()
+        data["counts"] = [0]
+        with pytest.raises(ConfigError):
+            Histogram.from_dict(data)
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.inc("faults")
+        reg.inc("faults", 2)
+        reg.set_gauge("total_ms", 1.5)
+        reg.set_gauge("total_ms", 2.5)
+        assert reg.counters == {"faults": 3}
+        assert reg.gauges == {"total_ms": 2.5}
+
+    def test_observe_default_and_custom_bounds(self):
+        reg = MetricsRegistry()
+        reg.observe("wait_ms", 0.3)
+        assert reg.histograms["wait_ms"].bounds == DEFAULT_MS_BOUNDS
+        reg.observe("dist", -4.0, bounds=(-8.0, 0.0, 8.0))
+        assert reg.histograms["dist"].bounds == (-8.0, 0.0, 8.0)
+        # Bounds only apply at creation; later observes reuse them.
+        reg.observe("dist", 5.0, bounds=(1.0,))
+        assert reg.histograms["dist"].bounds == (-8.0, 0.0, 8.0)
+        assert reg.histograms["dist"].count == 2
+
+    def test_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("faults", 2)
+        b.inc("faults", 3)
+        b.inc("evictions")
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 9.0)
+        a.observe("wait_ms", 0.5)
+        b.observe("wait_ms", 1.5)
+        b.observe("only_b", 2.0)
+        a.merge(b)
+        assert a.counters == {"faults": 5, "evictions": 1}
+        assert a.gauges == {"g": 9.0}
+        assert a.histograms["wait_ms"].count == 2
+        assert a.histograms["only_b"].count == 1
+        # Merging clones foreign histograms; mutating the source after
+        # the merge must not leak through.
+        b.observe("only_b", 3.0)
+        assert a.histograms["only_b"].count == 1
+
+    def test_merge_dict_roundtrip(self):
+        a = MetricsRegistry()
+        a.inc("faults", 4)
+        a.observe("wait_ms", 0.25)
+        b = MetricsRegistry()
+        b.merge_dict(a.as_dict())
+        b.merge_dict(a.as_dict())
+        assert b.counters["faults"] == 8
+        assert b.histograms["wait_ms"].count == 2
+
+
+class TestWriteMetrics:
+    def test_file_is_schema_tagged_and_valid(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("faults_remote", 7)
+        reg.set_gauge("sim_total_ms", 12.5)
+        reg.observe("fault_waiting_ms", 1.0, count=3)
+        path = tmp_path / "metrics.json"
+        write_metrics(path, reg)
+        data = json.loads(path.read_text())
+        assert data["schema"] == METRICS_SCHEMA
+        assert validate_metrics(data) == []
+        assert data["counters"]["faults_remote"] == 7
+        restored = MetricsRegistry.from_dict(data)
+        assert restored.histograms["fault_waiting_ms"].count == 3

@@ -1,0 +1,149 @@
+"""The normalized event stream and its two serializations."""
+
+import json
+
+from repro.obs.tracing import (
+    TRACE_SCHEMA,
+    TraceWriter,
+    chrome_trace,
+    combine_groups,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.validate import validate_chrome_trace, validate_jsonl
+
+
+def writer_with_mixed_events() -> TraceWriter:
+    writer = TraceWriter()
+    writer.emit("fault", 0.0, page=3, kind="remote")
+    writer.emit("stall", 0.0, dur_ms=0.5, page=3, kind="remote")
+    writer.emit("transfer", 0.25, dur_ms=0.125, page=3, kind="demand")
+    writer.emit("transfer", 0.375, dur_ms=0.875, page=3, kind="background",
+                queue_delay_ms=0.1)
+    writer.emit("eviction", 2.0, page=1, dirty=True, cancelled=False)
+    return writer
+
+
+class TestTraceWriter:
+    def test_normalized_fields(self):
+        writer = TraceWriter()
+        writer.emit("fault", 1.25, node=2, page=7)
+        (event,) = writer.events
+        assert event == {
+            "type": "fault", "t_ms": 1.25, "dur_ms": 0.0, "node": 2,
+            "page": 7,
+        }
+        assert len(writer) == 1
+
+    def test_max_events_drops_overflow(self):
+        writer = TraceWriter(max_events=2)
+        for i in range(5):
+            writer.emit("fault", float(i))
+        assert len(writer.events) == 2
+        assert writer.dropped == 3
+
+
+class TestChromeTrace:
+    def test_duration_vs_instant_phases(self):
+        trace = chrome_trace(writer_with_mixed_events().events)
+        events = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+        phases = [e["ph"] for e in events]
+        assert phases == ["i", "X", "X", "X", "i"]
+        for event in events:
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+            else:
+                assert event["dur"] > 0
+
+    def test_ms_to_us_conversion(self):
+        writer = TraceWriter()
+        writer.emit("stall", 1.5, dur_ms=0.5)
+        trace = chrome_trace(writer.events)
+        (event,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert event["ts"] == 1500.0
+        assert event["dur"] == 500.0
+
+    def test_track_assignment(self):
+        trace = chrome_trace(writer_with_mixed_events().events)
+        names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[(0, 1)] == "CPU stalls"
+        assert names[(0, 2)] == "demand wire"
+        assert names[(0, 3)] == "background wire"
+
+    def test_extra_fields_become_args(self):
+        writer = TraceWriter()
+        writer.emit("transfer", 0.0, dur_ms=1.0, kind="background",
+                    page=5, queue_delay_ms=0.25)
+        trace = chrome_trace(writer.events)
+        (event,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert event["args"]["page"] == 5
+        assert event["args"]["queue_delay_ms"] == 0.25
+
+    def test_dynamic_tracks_get_distinct_tids(self):
+        writer = TraceWriter()
+        writer.emit("span", 0.0, dur_ms=1.0, track="Req-CPU", label="req")
+        writer.emit("span", 1.0, dur_ms=1.0, track="Wire", label="wire")
+        writer.emit("span", 2.0, dur_ms=1.0, track="Req-CPU", label="more")
+        trace = chrome_trace(writer.events)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        tids = [e["tid"] for e in spans]
+        assert tids[0] == tids[2]
+        assert tids[0] != tids[1]
+        assert min(tids) >= 10  # clear of the fixed simulator tracks
+
+    def test_process_names(self):
+        writer = TraceWriter()
+        writer.emit("fault", 0.0, node=0)
+        trace = chrome_trace(writer.events, {0: "modula3/sp_1024"})
+        (proc,) = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert proc["args"]["name"] == "modula3/sp_1024"
+
+    def test_validator_accepts_output(self):
+        trace = chrome_trace(writer_with_mixed_events().events)
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["schema"] == TRACE_SCHEMA
+
+
+class TestCombineGroups:
+    def test_groups_map_to_distinct_pids(self):
+        a, b = TraceWriter(), TraceWriter()
+        a.emit("fault", 0.0, node=4)
+        b.emit("fault", 1.0, node=4)
+        events, names = combine_groups(
+            [("run a", a.events), ("run b", b.events)]
+        )
+        assert [e["node"] for e in events] == [0, 1]
+        assert names == {0: "run a", 1: "run b"}
+        # Original events are not mutated.
+        assert a.events[0]["node"] == 4
+
+
+class TestFileOutputs:
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(path, writer_with_mixed_events().events)
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        events = writer_with_mixed_events().events
+        write_jsonl(path, events, header={"experiment": "fig02"})
+        text = path.read_text()
+        assert validate_jsonl(text) == []
+        lines = [json.loads(ln) for ln in text.splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["schema"] == TRACE_SCHEMA
+        assert lines[0]["experiment"] == "fig02"
+        assert lines[1:] == events
+
+    def test_validators_reject_garbage(self):
+        assert validate_chrome_trace({"traceEvents": [{"ph": "?"}]})
+        assert validate_jsonl("not json\n")
+        assert validate_jsonl(json.dumps({"type": "fault", "t_ms": 0.0}))

@@ -76,6 +76,26 @@ class TestDerivedMetrics:
         summary = result().summary()
         assert json.loads(json.dumps(summary)) == summary
 
+    def test_summary_covers_eviction_and_link_accounting(self):
+        # Regression: dirty_evictions, cancelled_transfers, and the
+        # link stats used to be dropped from the summary.
+        r = result(
+            evictions=10, dirty_evictions=4, cancelled_transfers=2,
+            overlapped_faults=3,
+            link_stats={"demand_transfers": 9, "queueing_delay_ms": 1.5},
+        )
+        summary = r.summary()
+        assert summary["evictions"] == 10
+        assert summary["dirty_evictions"] == 4
+        assert summary["cancelled_transfers"] == 2
+        assert summary["overlapped_faults"] == 3
+        assert summary["link_stats"] == {
+            "demand_transfers": 9, "queueing_delay_ms": 1.5,
+        }
+        # The summary owns a copy, not the live stats dict.
+        summary["link_stats"]["demand_transfers"] = 0
+        assert r.link_stats["demand_transfers"] == 9
+
 
 class TestFaultRecord:
     def test_page_wait_accumulation(self):

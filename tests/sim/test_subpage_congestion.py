@@ -1,0 +1,174 @@
+"""Subpage (lazy-scheme) faults and the shared-link congestion model.
+
+Regression tests for two historical bugs in ``Simulator._subpage_fault``:
+
+1. follow-on arrivals never registered with the :class:`LinkModel`, so
+   they neither queued behind in-flight traffic nor got preempted by
+   later demand transfers (and ``background_transfers`` undercounted);
+2. the pending schedule was created with ``wire_end_ms`` left at 0.0,
+   so ``LinkModel._reap`` dropped it immediately and eviction-time
+   accounting saw no in-flight transfer.
+
+The built-in lazy scheme ships no follow-on data, so these paths need a
+custom scheme: :class:`LazyPairFetch` fetches the faulted subpage and
+ships its successor as a background transfer (arriving at the
+rest-of-page latency), on page faults and subpage faults alike.
+"""
+
+import pytest
+
+from repro.core.plans import FaultContext, TransferPlan
+from repro.core.schemes import FetchScheme
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+
+from tests.conftest import FixedLatencyModel, make_trace, page_addr
+
+
+class SlowWireLatency(FixedLatencyModel):
+    """The fixed model with an 8x slower wire (1024 bytes = 0.5 ms), so
+    transfers stay in flight long enough to collide."""
+
+    def wire_time_ms(self, size_bytes: int) -> float:
+        return size_bytes / 2048
+
+
+class LazyPairFetch(FetchScheme):
+    """Lazy fetch plus one follow-on: the next subpage rides behind the
+    demand transfer as background traffic."""
+
+    name = "lazypair"
+
+    def plan_fault(self, ctx: FaultContext) -> TransferPlan:
+        s = ctx.subpage_bytes
+        resume = ctx.now_ms + ctx.latency.subpage_latency_ms(s)
+        arrivals = {ctx.faulted_subpage: resume}
+        background_wire = 0.0
+        follower = ctx.faulted_subpage + 1
+        if ctx.subpage_exists(follower):
+            arrivals[follower] = ctx.now_ms + ctx.latency.rest_of_page_ms(s)
+            background_wire = ctx.latency.wire_time_ms(s)
+        return TransferPlan(
+            resume_ms=resume,
+            arrivals_ms=arrivals,
+            demand_wire_ms=ctx.latency.wire_time_ms(s),
+            background_ready_ms=ctx.now_ms + ctx.latency.request_fixed_ms,
+            background_wire_ms=background_wire,
+        )
+
+
+def lazypair_config(congestion: bool, memory_pages: int = 8,
+                    observe: str = "") -> SimulationConfig:
+    return SimulationConfig(
+        memory_pages=memory_pages,
+        scheme=LazyPairFetch(),
+        subpage_bytes=1024,
+        latency_model=SlowWireLatency(),
+        event_ns=1000.0,  # 1 us per reference
+        congestion=congestion,
+        use_trace_dilation=False,
+        observe=observe,
+    )
+
+
+def sp(page: int, subpage: int) -> int:
+    return page_addr(page, subpage * 1024)
+
+
+class TestSubpageFaultUsesLink:
+    """Bugfix 1: follow-on arrivals route through the congestion model."""
+
+    TRACE = [sp(0, 0), sp(0, 4), sp(0, 5)]
+
+    def test_background_transfer_is_counted(self):
+        result = simulate(make_trace(self.TRACE), lazypair_config(True))
+        assert result.remote_faults == 1
+        assert result.subpage_faults == 1
+        # One background transfer per fault: the page fault's follow-on
+        # AND the subpage fault's follow-on.
+        assert result.link_stats["demand_transfers"] == 2
+        assert result.link_stats["background_transfers"] == 2
+
+    def test_congestion_delays_the_followon(self):
+        congested = simulate(make_trace(self.TRACE), lazypair_config(True))
+        idle = simulate(make_trace(self.TRACE), lazypair_config(False))
+
+        # Identical fault structure either way.
+        assert idle.subpage_faults == congested.subpage_faults == 1
+        assert idle.link_stats["background_transfers"] == 0
+
+        # Idle link: the subpage fault at t=0.501 promises subpage 5 at
+        # the rest-of-page latency, 2.001; the program touches it at
+        # 1.002 and waits out the difference.
+        start, end = idle.stall_intervals[-1]
+        assert (start, end) == (pytest.approx(1.002), pytest.approx(2.001))
+
+        # Congested: the follow-on queues behind the page fault's
+        # background transfer and behind its own demand transfer
+        # (0.999 ms), landing at 3.0 instead.
+        start, end = congested.stall_intervals[-1]
+        assert (start, end) == (pytest.approx(1.002), pytest.approx(3.0))
+        assert congested.link_stats["queueing_delay_ms"] == pytest.approx(
+            1.499
+        )
+        # The subpage fault's demand transfer preempted the page fault's
+        # still-in-flight follow-on.
+        assert congested.link_stats["preemption_delay_ms"] == (
+            pytest.approx(0.5)
+        )
+        assert congested.total_ms > idle.total_ms
+
+
+class TestDemandPreemptsSubpageTransfer:
+    """Bugfix 2: the schedule carries a real ``wire_end_ms``, so a later
+    demand transfer still sees (and shifts) it in flight."""
+
+    TRACE = [sp(0, 0), sp(0, 4), sp(1, 0), sp(0, 5)]
+
+    def test_followon_arrival_is_pushed_back(self):
+        result = simulate(make_trace(self.TRACE), lazypair_config(True))
+        assert result.remote_faults == 2
+        assert result.subpage_faults == 1
+        # Page 1's fault finds the wire busy with page 0's traffic.
+        assert result.overlapped_faults == 1
+        # Without the fix the subpage schedule is reaped immediately
+        # (wire_end_ms == 0.0) and subpage 5 would arrive at 3.0; with
+        # it, page 1's demand transfer pushes the arrival to 3.5.
+        start, end = result.stall_intervals[-1]
+        assert (start, end) == (pytest.approx(1.503), pytest.approx(3.5))
+        # Preempted twice 0.5 ms each: the page-0 merged schedule and
+        # the subpage fault's registered schedule.
+        assert result.link_stats["preemption_delay_ms"] == pytest.approx(
+            1.5
+        )
+
+
+class TestEvictionDuringLazyTransfer:
+    """Bugfix 2 (accounting): evicting a page whose lazy follow-on is
+    still in flight counts as a cancelled transfer."""
+
+    def test_cancelled_transfer_counted(self):
+        trace = make_trace([sp(0, 0), sp(0, 4), sp(1, 0), sp(2, 0)])
+        result = simulate(
+            trace, lazypair_config(False, memory_pages=2,
+                                   observe="metrics"),
+        )
+        # Page 2's fault evicts page 0 at ~1.503 while its follow-on
+        # (subpage 5, due 2.001) is still outstanding.
+        assert result.evictions == 1
+        assert result.cancelled_transfers == 1
+        counters = result.metrics["counters"]
+        assert counters["transfers_cancelled"] == 1
+        assert counters["evictions"] == 1
+
+    def test_completed_transfer_evicts_cleanly(self):
+        # Touching subpage 5 first waits out the transfer and folds the
+        # schedule, so the later eviction cancels nothing.
+        trace = make_trace(
+            [sp(0, 0), sp(0, 4), sp(0, 5), sp(1, 0), sp(2, 0)]
+        )
+        result = simulate(
+            trace, lazypair_config(False, memory_pages=2),
+        )
+        assert result.evictions == 1
+        assert result.cancelled_transfers == 0

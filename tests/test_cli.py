@@ -82,3 +82,96 @@ class TestExecutionFlags:
         assert main(["--cache", str(tmp_path), "fig09"]) == 0
         err = capsys.readouterr().err
         assert "result cache: 15 hits" in err
+
+
+class TestObservabilityFlags:
+    def test_build_options_merges_observe_tokens(self, monkeypatch):
+        from repro.experiments.__main__ import build_options
+
+        monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+        args = build_parser().parse_args(
+            ["--trace-out", "t.json", "fig02"]
+        )
+        assert build_options(args).observe == "trace"
+        args = build_parser().parse_args(
+            ["--trace-out", "t.json", "--metrics-out", "m.json", "fig02"]
+        )
+        assert build_options(args).observe == "metrics,trace"
+        args = build_parser().parse_args(["fig02"])
+        assert build_options(args).observe == ""
+
+    def test_fig02_trace_and_metrics_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.validate import (
+            validate_chrome_trace,
+            validate_jsonl,
+            validate_metrics,
+        )
+
+        trace_path = tmp_path / "out.trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "fig02", "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace_path}" in out
+
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        # Each Figure 2 timeline case becomes a named process.
+        names = [
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        ]
+        assert any("fullpage 8K" in name for name in names)
+
+        jsonl_path = tmp_path / "out.trace.jsonl"
+        assert validate_jsonl(jsonl_path.read_text()) == []
+
+        metrics = json.loads(metrics_path.read_text())
+        assert validate_metrics(metrics) == []
+        assert any(
+            name.startswith("fig02_resume_ms")
+            for name in metrics["gauges"]
+        )
+
+    def test_simulated_runs_feed_metrics_out(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments import common
+        from repro.obs.validate import validate_metrics
+
+        common.clear_run_cache()
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["fig05", "--metrics-out", str(metrics_path)]) == 0
+        capsys.readouterr()
+        metrics = json.loads(metrics_path.read_text())
+        assert validate_metrics(metrics) == []
+        assert metrics["counters"]["faults_remote"] > 0
+        assert "fault_waiting_ms" in metrics["histograms"]
+        common.clear_run_cache()
+
+    def test_trace_dir_env_writes_per_experiment_files(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json
+
+        from repro.obs.validate import (
+            validate_chrome_trace,
+            validate_jsonl,
+            validate_metrics,
+        )
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["fig02"]) == 0
+        capsys.readouterr()
+        trace = json.loads((tmp_path / "fig02.trace.json").read_text())
+        assert validate_chrome_trace(trace) == []
+        assert validate_jsonl(
+            (tmp_path / "fig02.jsonl").read_text()
+        ) == []
+        metrics = json.loads((tmp_path / "fig02.metrics.json").read_text())
+        assert validate_metrics(metrics) == []

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Validate observability artifacts (CI helper).
+
+Checks the files the experiment CLI writes against the structural rules
+in :mod:`repro.obs.validate`:
+
+    python tools/validate_obs.py --trace out.trace.json \
+        --jsonl out.trace.jsonl --metrics metrics.json
+
+Any flag may repeat; exits non-zero listing every problem found.  Run
+with ``PYTHONPATH=src`` (or an installed package).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.validate import (
+    validate_chrome_trace,
+    validate_jsonl,
+    validate_metrics,
+)
+
+
+def _load_json(path: str) -> tuple[object | None, list[str]]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh), []
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, [f"cannot load {path}: {exc}"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", action="append", default=[],
+                        metavar="FILE",
+                        help="Chrome trace-event JSON file(s)")
+    parser.add_argument("--jsonl", action="append", default=[],
+                        metavar="FILE", help="JSONL event stream file(s)")
+    parser.add_argument("--metrics", action="append", default=[],
+                        metavar="FILE", help="metrics registry JSON file(s)")
+    args = parser.parse_args(argv)
+    if not (args.trace or args.jsonl or args.metrics):
+        parser.error("nothing to validate; pass --trace/--jsonl/--metrics")
+
+    failures = 0
+    for path in args.trace:
+        obj, problems = _load_json(path)
+        if obj is not None:
+            problems = validate_chrome_trace(obj)
+        failures += _report(path, "chrome-trace", problems)
+    for path in args.jsonl:
+        try:
+            problems = validate_jsonl(
+                open(path, encoding="utf-8").read()
+            )
+        except OSError as exc:
+            problems = [f"cannot load {path}: {exc}"]
+        failures += _report(path, "jsonl", problems)
+    for path in args.metrics:
+        obj, problems = _load_json(path)
+        if obj is not None:
+            problems = validate_metrics(obj)
+        failures += _report(path, "metrics", problems)
+    return 1 if failures else 0
+
+
+def _report(path: str, kind: str, problems: list[str]) -> int:
+    if problems:
+        print(f"FAIL {kind} {path}", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"ok   {kind} {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
