@@ -198,6 +198,7 @@ class Cluster:
             )
         placed = 0
         cursor = 0
+        unplaced: list[PageUid] = []
         for uid in fresh:
             for _ in range(len(hosts)):
                 host = hosts[cursor % len(hosts)]
@@ -207,6 +208,22 @@ class Cluster:
                     self.directory.update(uid, host.node_id)
                     placed += 1
                     break
+            else:
+                # Every host with a free frame already holds this UID
+                # (possible when a caller pre-seeded copies): the
+                # aggregate capacity check above cannot see this, and
+                # silently returning a short count would leave callers
+                # believing their warm cache is complete.
+                unplaced.append(uid)
+        if unplaced:
+            shown = ", ".join(str(u) for u in unplaced[:8])
+            if len(unplaced) > 8:
+                shown += f", ... ({len(unplaced) - 8} more)"
+            raise CapacityError(
+                f"warm_fill_uids could not place {len(unplaced)} "
+                f"page(s) — every host with free frames already holds "
+                f"them: {shown}"
+            )
         return placed
 
     # -- protocol operations ---------------------------------------------
@@ -310,6 +327,33 @@ class Cluster:
             raise GmsError(f"node {evicting} does not hold {uid}")
         if dirty:
             self._dirty.add(uid)
+
+        if self.directory.contains(uid):
+            holder_id = self.directory.lookup(uid)
+            if holder_id != evicting and self.node(holder_id).holds(uid):
+                # A sharer evicted its *copy* of a page the directory's
+                # holder still has: the copy is redundant.  Forwarding
+                # it would re-point the directory away from the
+                # established holder (later getpages would then move or
+                # discard the wrong copy, and the original holder's copy
+                # would become invisible to where_is) — or crash
+                # outright when the forward target already holds the
+                # page.  Just drop the copy.
+                self.stats.discards += 1
+                return None
+            if holder_id == evicting and self.stats.shared_copies:
+                # The canonical holder is evicting a page other nodes
+                # may still hold copies of: promote a surviving copy to
+                # canonical instead of dropping the page to disk, so no
+                # local copy is ever directory-orphaned.
+                for node in self._nodes.values():
+                    if node.node_id != evicting and node.holds(uid):
+                        self.directory.update(uid, node.node_id)
+                        self._msg(
+                            evicting, self.directory.pod.manager_of(uid)
+                        )
+                        self.stats.discards += 1
+                        return None
 
         if self._epoch.should_discard(self._nodes, age) or len(
             self._nodes

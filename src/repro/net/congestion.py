@@ -56,6 +56,21 @@ class PendingArrivals:
         if self.wire_end_ms > time_ms:
             self.wire_end_ms += delta_ms
 
+    def shift_all(self, delta_ms: float) -> None:
+        """Delay the *entire* schedule — every arrival and the wire end.
+
+        Queueing a not-yet-started transfer must slide its whole
+        schedule; :meth:`shift_after` cannot express that, because its
+        strict ``arrival > time_ms`` comparison never moves an arrival
+        stamped exactly at the shift origin (a fault at clock 0 would
+        see its follow-on subpage arrive before the link is free).
+        """
+        if delta_ms < 0:
+            raise SimulationError("cannot shift arrivals backwards")
+        for subpage, arrival in self.arrival_ms.items():
+            self.arrival_ms[subpage] = arrival + delta_ms
+        self.wire_end_ms += delta_ms
+
     def earliest(self) -> float:
         if not self.arrival_ms:
             raise SimulationError("no pending arrivals")
@@ -138,7 +153,7 @@ class LinkModel:
         start = max(ready_ms, self._busy_until)
         delay = start - ready_ms
         if delay > 0:
-            pending.shift_after(0.0, delay)
+            pending.shift_all(delay)
             self.total_queueing_delay_ms += delay
         pending.wire_end_ms = max(pending.wire_end_ms, start + wire_ms)
         self._busy_until = start + wire_ms

@@ -55,8 +55,11 @@ ENV_TRACE_DIR = "REPRO_TRACE_DIR"
 #: Bumped whenever simulator semantics change in a way that invalidates
 #: previously cached results.  v2: lazy-scheme follow-on arrivals route
 #: through the congestion model (wire_end_ms fix) and results carry
-#: observability payload fields.
-CACHE_VERSION = 2
+#: observability payload fields.  v3: the ``engine`` config field joins
+#: the fingerprint (via ``dataclasses.fields``), GMS putpage keeps
+#: shared-copy directory entries intact, and queued background transfers
+#: shift their whole arrival schedule (zero-time edge).
+CACHE_VERSION = 3
 
 
 @dataclass(frozen=True, slots=True)

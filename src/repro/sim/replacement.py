@@ -47,6 +47,21 @@ class ReplacementPolicy(ABC):
         back to its unconstrained choice otherwise.
         """
 
+    def note_pending(self, page: int) -> None:
+        """Hint: ``page`` has in-flight transfers (may fail ``prefer``).
+
+        Policies may use these hints to skip the ``prefer`` probe for
+        pages that were never marked.  Callers that mark pages promise
+        that every *unmarked* resident page satisfies ``prefer`` —
+        the simulator upholds this by marking exactly the pages whose
+        frames carry a pending arrival schedule.  The default is a
+        no-op, so policies (and callers) that ignore hints keep the
+        scan-with-predicate behaviour.
+        """
+
+    def note_settled(self, page: int) -> None:
+        """Hint: ``page``'s in-flight transfers have been folded."""
+
     @abstractmethod
     def __len__(self) -> int: ...
 
@@ -55,12 +70,24 @@ class ReplacementPolicy(ABC):
 
 
 class LruPolicy(ReplacementPolicy):
-    """Least-recently-used (the paper's default)."""
+    """Least-recently-used (the paper's default).
+
+    When the caller supplies :meth:`note_pending`/:meth:`note_settled`
+    hints, preferred eviction is O(1) in the common case: the LRU scan
+    probes ``prefer`` only for marked pages, and the first unmarked page
+    (usually the LRU head — long-settled pages) wins immediately.  This
+    selects the *same* victim as the plain predicate scan whenever the
+    hint contract holds (unmarked pages satisfy ``prefer``).  Without
+    hints the original full scan is used, so direct callers that pass
+    ad-hoc predicates are unaffected.
+    """
 
     name = "lru"
 
     def __init__(self) -> None:
         self._order: OrderedDict[int, None] = OrderedDict()
+        self._maybe_pending: set[int] = set()
+        self._hinted = False
 
     def insert(self, page: int) -> None:
         if page in self._order:
@@ -72,18 +99,42 @@ class LruPolicy(ReplacementPolicy):
 
     def remove(self, page: int) -> None:
         del self._order[page]
+        self._maybe_pending.discard(page)
+
+    def note_pending(self, page: int) -> None:
+        self._maybe_pending.add(page)
+        self._hinted = True
+
+    def note_settled(self, page: int) -> None:
+        self._maybe_pending.discard(page)
+
+    def _evict_hinted(self, prefer: Callable[[int], bool]) -> int | None:
+        # Marked pages are probed (and lazily unmarked when their
+        # transfers turn out to be done); the first unmarked page is
+        # preferred by the hint contract, no probe needed.
+        for page in self._order:
+            if page not in self._maybe_pending:
+                return page
+            if prefer(page):
+                self._maybe_pending.discard(page)
+                return page
+        return None
 
     def evict(self, prefer: Callable[[int], bool] | None = None) -> int:
         if not self._order:
             raise SimulationError("nothing to evict")
         victim = None
         if prefer is not None:
-            victim = next(
-                (page for page in self._order if prefer(page)), None
-            )
+            if self._hinted:
+                victim = self._evict_hinted(prefer)
+            else:
+                victim = next(
+                    (page for page in self._order if prefer(page)), None
+                )
         if victim is None:
             victim = next(iter(self._order))
         del self._order[victim]
+        self._maybe_pending.discard(victim)
         return victim
 
     def __len__(self) -> int:

@@ -16,6 +16,7 @@ data *more* valid).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 
 from repro.core.fault import FaultKind, FaultRecord
 from repro.core.plans import FaultContext
@@ -28,6 +29,7 @@ from repro.net.latency import CalibratedLatencyModel
 from repro.obs.instrument import Instrument, Recorder
 from repro.palcode.emulator import PalEmulator
 from repro.sim.config import SimulationConfig
+from repro.sim.engine import drive_fast
 from repro.sim.replacement import make_policy
 from repro.sim.results import SimulationResult
 from repro.sim.tlb import TlbModel
@@ -113,12 +115,8 @@ class Simulator:
         if cfg.use_trace_dilation:
             event_ms *= trace.dilation
 
-        # Per-run columns as plain Python lists (fastest to iterate).
-        pages = trace.pages.tolist()
-        subpages = trace.subpages(cfg.subpage_bytes).tolist()
-        blocks = trace.blocks.tolist()
-        counts = trace.counts.tolist()
-        writes = trace.writes.tolist()
+        # Per-run columns, cached on the trace across runs/subpage sizes.
+        cols = trace.columns(cfg.subpage_bytes)
 
         full_mask = (1 << (cfg.page_bytes // cfg.subpage_bytes)) - 1
 
@@ -181,13 +179,64 @@ class Simulator:
             ins=ins,
         )
 
-        clock = 0.0
-        last_page = -1
+        # Engine dispatch: the fast engine handles every configuration
+        # except those demanding per-event hooks — an attached
+        # instrument (including the observe= recorder), PALcode
+        # emulation (charged per reference against in-flight pages),
+        # and subpage-distance tracking (inspects every hit).
+        use_fast = (
+            cfg.engine == "fast"
+            and ins is None
+            and pal is None
+            and not cfg.track_distances
+        )
+        if use_fast:
+            clock = drive_fast(self, state, trace, cols)
+        else:
+            clock = self._drive_reference(state, cols)
+
+        self._finalize(state, clock)
+        if recorder is not None:
+            if recorder.metrics is not None:
+                result.metrics = recorder.metrics.as_dict()
+            if recorder.trace is not None:
+                result.trace_events = recorder.trace.events
+        return result
+
+    def _drive_reference(
+        self,
+        state: "_RunState",
+        cols,
+        start: int = 0,
+        clock: float = 0.0,
+        last_page: int = -1,
+    ) -> float:
+        """The per-run reference loop; handles every configuration.
+
+        ``start``/``clock``/``last_page`` let the fast engine hand a
+        partially-driven run over mid-trace (its bail-out path): the
+        shared ``state`` is exactly what this loop would have produced,
+        so resuming at run ``start`` is bit-identical to having driven
+        the whole trace here.
+        """
+        cfg = self.config
+        frames = state.frames
+        policy = state.policy
+        tlb = state.tlb
+        pal = state.pal
+        event_ms = state.event_ms
+        full_mask = state.full_mask
+        result = state.result
+
         track_dist = cfg.track_distances
 
-        for page, sp, block, count, write in zip(
-            pages, subpages, blocks, counts, writes
-        ):
+        runs = zip(
+            cols.pages, cols.subpages, cols.blocks, cols.counts,
+            cols.writes,
+        )
+        if start:
+            runs = islice(runs, start, None)
+        for page, sp, block, count, write in runs:
             frame = frames.get(page)
             if frame is None:
                 clock = self._page_fault(
@@ -224,14 +273,7 @@ class Simulator:
                 if write and not frame.dirty:
                     frame.dirty = True
             clock += count * event_ms
-
-        self._finalize(state, clock)
-        if recorder is not None:
-            if recorder.metrics is not None:
-                result.metrics = recorder.metrics.as_dict()
-            if recorder.trace is not None:
-                result.trace_events = recorder.trace.events
-        return result
+        return clock
 
     # -- fault handling ------------------------------------------------------
 
@@ -351,6 +393,8 @@ class Simulator:
         result.components.cpu_overhead_ms += record.cpu_overhead_ms
         frames[page] = frame
         state.policy.insert(page)
+        if frame.pending is not None:
+            state.policy.note_pending(page)
         return resume + record.cpu_overhead_ms
 
     def _touch_incomplete(
@@ -397,9 +441,13 @@ class Simulator:
             if not pending.arrival_ms:
                 frame.valid_bits = state.full_mask
                 frame.pending = None
+                if state.policy is not None:
+                    state.policy.note_settled(page)
             elif clock >= (latest := pending.latest()):
                 frame.valid_bits = state.full_mask
                 frame.pending = None
+                if state.policy is not None:
+                    state.policy.note_settled(page)
                 if frame.record is not None:
                     frame.record.window_end_ms = latest
             elif state.pal is not None:
@@ -494,6 +542,7 @@ class Simulator:
                 frame.pending.wire_end_ms = max(
                     frame.pending.wire_end_ms, pending.wire_end_ms
                 )
+            state.policy.note_pending(page)
         record = FaultRecord(
             page=page,
             subpage=sp,
@@ -526,6 +575,7 @@ class Simulator:
             )
 
         victim = state.policy.evict(prefer=transfers_done)
+        state.last_victim = victim
         frame = frames.pop(victim)
         state.result.evictions += 1
         cancelled = (
@@ -666,6 +716,10 @@ class _RunState:
     event_ms: float
     full_mask: int
     ins: Instrument | None = None
+    #: The most recent eviction victim (set by ``_evict``); the fast
+    #: engine reads it after a fault to re-enter the page in its
+    #: interesting-event heap.
+    last_victim: int | None = None
 
     @property
     def stalls(self) -> list[tuple[float, float]]:

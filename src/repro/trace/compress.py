@@ -25,6 +25,79 @@ from repro.errors import TraceError
 from repro.units import FULL_PAGE_BYTES, MIN_SUBPAGE_BYTES, is_power_of_two
 
 
+class TraceColumns:
+    """Precomputed per-run columns for the simulator engines.
+
+    One instance per (trace, subpage size), cached on the owning
+    :class:`RunTrace` so sweeps that revisit a trace (or a subpage size)
+    pay the array→list conversion once.  Holds both the plain-Python
+    lists the per-run loops iterate fastest over and the NumPy views the
+    fast engine's bulk span processing slices.
+    """
+
+    __slots__ = (
+        "pages",
+        "subpages",
+        "blocks",
+        "counts",
+        "writes",
+        "pages_arr",
+        "counts_f64",
+        "writes_arr",
+        "switch_arr",
+        "switch_cum",
+        "writes_cum",
+    )
+
+    def __init__(
+        self, trace: "RunTrace", subpage_bytes: int,
+        base: "TraceColumns | None" = None,
+    ) -> None:
+        self.subpages = trace.subpages(subpage_bytes).tolist()
+        if base is not None:
+            # Only the subpage column depends on the subpage size; the
+            # rest is shared with whatever was built first.
+            self.pages = base.pages
+            self.blocks = base.blocks
+            self.counts = base.counts
+            self.writes = base.writes
+            self.pages_arr = base.pages_arr
+            self.counts_f64 = base.counts_f64
+            self.writes_arr = base.writes_arr
+            self.switch_arr = base.switch_arr
+            self.switch_cum = base.switch_cum
+            self.writes_cum = base.writes_cum
+            return
+        self.pages = trace.pages.tolist()
+        self.blocks = trace.blocks.tolist()
+        self.counts = trace.counts.tolist()
+        self.writes = trace.writes.tolist()
+        self.pages_arr = trace.pages.astype(np.int64, copy=False)
+        # Exact (counts are far below 2**53): one float64 multiply per
+        # run matches the reference loop's scalar ``count * event_ms``.
+        self.counts_f64 = trace.counts.astype(np.float64)
+        self.writes_arr = np.asarray(trace.writes, dtype=bool)
+        n = len(self.pages)
+        # Page-switch structure: switch_arr[k] says run k references a
+        # different page than run k-1 (run 0 always "switches" — no
+        # page id is negative, so it also differs from the engines'
+        # initial last_page of -1).  The cumulative sums give any
+        # span's switch/write count in O(1).
+        self.switch_arr = np.empty(n, dtype=bool)
+        if n:
+            self.switch_arr[0] = True
+            np.not_equal(
+                self.pages_arr[1:], self.pages_arr[:-1],
+                out=self.switch_arr[1:],
+            )
+        self.switch_cum = np.concatenate(
+            ([0], np.cumsum(self.switch_arr, dtype=np.int64))
+        )
+        self.writes_cum = np.concatenate(
+            ([0], np.cumsum(self.writes_arr, dtype=np.int64))
+        )
+
+
 @dataclass(frozen=True, slots=True)
 class RunTrace:
     """A run-length-compressed memory-reference trace.
@@ -63,6 +136,7 @@ class RunTrace:
     _footprint: list[int] = field(
         default_factory=list, repr=False, compare=False
     )
+    _cols: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         n = len(self.pages)
@@ -147,6 +221,66 @@ class RunTrace:
                 f"{self.page_bytes}"
             )
         return self.blocks // (subpage_bytes // self.block_bytes)
+
+    def columns(self, subpage_bytes: int) -> TraceColumns:
+        """Cached :class:`TraceColumns` at ``subpage_bytes`` granularity.
+
+        The simulator engines iterate these instead of re-converting the
+        arrays per run; size-independent columns are shared across the
+        cached entries.
+        """
+        cols = self._cols.get(subpage_bytes)
+        if cols is None:
+            base = next(
+                (c for c in self._cols.values()
+                 if isinstance(c, TraceColumns)),
+                None,
+            )
+            cols = TraceColumns(self, subpage_bytes, base)
+            self._cols[subpage_bytes] = cols
+        return cols
+
+    def occurrences(self) -> dict[int, list[int]]:
+        """Cached map of page -> ascending run indices touching it.
+
+        The fast engine's interesting-event heap walks these lists to
+        find each page's next occurrence.  Built with one stable argsort
+        of the page column.
+        """
+        occ = self._cols.get("occ")
+        if occ is None:
+            occ = {}
+            pages = self.pages
+            if len(pages):
+                order = np.argsort(pages, kind="stable")
+                sorted_pages = pages[order]
+                bounds = np.flatnonzero(
+                    sorted_pages[1:] != sorted_pages[:-1]
+                ) + 1
+                start = 0
+                for stop in (*bounds.tolist(), len(pages)):
+                    occ[int(sorted_pages[start])] = order[
+                        start:stop
+                    ].tolist()
+                    start = stop
+            self._cols["occ"] = occ
+        return occ
+
+    def __getstate__(self):
+        # The column/occurrence caches can dwarf the arrays themselves;
+        # pickled traces (worker fan-out, result caches) ship without
+        # them and each process rebuilds lazily.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_cols", "_footprint")
+        }
+
+    def __setstate__(self, state) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "_footprint", [])
+        object.__setattr__(self, "_cols", {})
 
     def slice(self, start: int, stop: int) -> "RunTrace":
         """A new trace holding runs ``start:stop``."""

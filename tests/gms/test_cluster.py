@@ -160,3 +160,103 @@ class TestClusterShape:
     def test_directory_before_nodes(self):
         with pytest.raises(GmsError):
             Cluster().directory
+
+
+def shared_cluster():
+    """Three nodes; node 1 holds a page node 0 then copies (shares)."""
+    cluster = Cluster()
+    cluster.add_node(8)   # node 0: active sharer
+    cluster.add_node(8)   # node 1: canonical holder
+    cluster.add_node(16)  # node 2: idle global memory
+    uid = PageUid(9, 7)   # shared namespace: origin owned by no node
+    cluster.nodes[1].add_local(uid, now=0.0)
+    cluster.directory.update(uid, 1)
+    result = cluster.getpage(0, uid, 1.0)  # node 0 takes a copy
+    assert result.location is PageLocation.REMOTE_MEMORY
+    assert cluster.stats.shared_copies == 1
+    return cluster, uid
+
+
+class TestSharedCopyPutpage:
+    """Evicting one copy of a shared page must not disturb the rest.
+
+    Regression: ``putpage`` treated every eviction as the canonical
+    copy's, forwarding a sharer's redundant copy into global memory and
+    re-pointing the directory at the forward target — which crashed when
+    the target (often the canonical holder itself) already held the
+    page, and otherwise left the canonical copy invisible to the
+    directory.
+    """
+
+    def test_sharer_eviction_drops_copy(self):
+        cluster, uid = shared_cluster()
+        target = cluster.putpage(0, uid, age=2.0)
+        assert target is None  # dropped, not forwarded
+        assert cluster.where_is(uid) == 1  # directory untouched
+        assert cluster.nodes[1].holds_local(uid)
+        assert not cluster.nodes[0].holds(uid)
+        assert cluster.stats.discards == 1
+
+    def test_sharer_refaults_from_canonical_after_evicting(self):
+        cluster, uid = shared_cluster()
+        cluster.putpage(0, uid, age=2.0)
+        result = cluster.getpage(0, uid, 3.0)
+        assert result.location is PageLocation.REMOTE_MEMORY
+        assert result.serving_node == 1
+        assert cluster.stats.shared_copies == 2
+
+    def test_canonical_eviction_promotes_surviving_copy(self):
+        cluster, uid = shared_cluster()
+        target = cluster.putpage(1, uid, age=2.0)
+        assert target is None
+        # The surviving copy on node 0 is now canonical.
+        assert cluster.where_is(uid) == 0
+        assert cluster.nodes[0].holds_local(uid)
+        assert not cluster.nodes[1].holds(uid)
+
+    def test_unshared_page_eviction_still_forwards(self):
+        cluster, _ = shared_cluster()
+        private = PageUid(0, 3)
+        cluster.nodes[0].add_local(private, now=0.0)
+        cluster.directory.update(private, 0)
+        target = cluster.putpage(0, private, age=5.0)
+        assert target is not None  # normal path: forwarded, not dropped
+        assert cluster.nodes[target].holds_global(private)
+        assert cluster.where_is(private) == target
+
+
+class TestWarmFillUids:
+    def test_round_robin_placement(self):
+        cluster = Cluster()
+        cluster.add_node(4)
+        cluster.add_node(4)
+        cluster.add_node(4)
+        uids = [PageUid(9, v) for v in range(4)]
+        placed = cluster.warm_fill_uids(uids, exclude=(0,))
+        assert placed == 4
+        assert cluster.nodes[1].global_count == 2
+        assert cluster.nodes[2].global_count == 2
+
+    def test_already_known_uids_skipped(self):
+        cluster = two_node_cluster()
+        uid = PageUid(9, 1)
+        cluster.warm_fill_uids([uid], exclude=(0,))
+        assert cluster.warm_fill_uids([uid], exclude=(0,)) == 0
+
+    def test_unplaceable_uid_raises(self):
+        """Regression: when every host with free frames already held a
+        UID (pre-seeded copy, not yet in the directory), warm_fill_uids
+        silently returned a short count and callers believed their warm
+        cache was complete."""
+        cluster = two_node_cluster()
+        uid = PageUid(9, 5)
+        # Node 1 (the only host) holds a copy the directory doesn't know.
+        cluster.nodes[1].add_global(uid, age=0.0)
+        with pytest.raises(CapacityError, match=r"uid\(9:0x5\)"):
+            cluster.warm_fill_uids([uid], exclude=(0,))
+
+    def test_aggregate_overflow_raises(self):
+        cluster = two_node_cluster(idle=2)
+        uids = [PageUid(9, v) for v in range(3)]
+        with pytest.raises(CapacityError):
+            cluster.warm_fill_uids(uids, exclude=(0,))

@@ -99,3 +99,101 @@ TestClusterStateMachine = ClusterMachine.TestCase
 TestClusterStateMachine.settings = settings(
     max_examples=40, stateful_step_count=40, deadline=None
 )
+
+
+SHARED_ORIGIN = 9  # a namespace no cluster node owns
+SHARED_VPNS = list(range(6))
+ACTIVE_NODES = [0, 1]
+
+
+class SharedClusterMachine(RuleBasedStateMachine):
+    """Two active nodes faulting and evicting *shared* pages.
+
+    Shared pages are copied, not moved: a getpage served by a node that
+    holds the page locally leaves that copy in place.  The machine
+    checks the directory<->residency invariants the copy protocol must
+    preserve: every directory entry points at a node that really holds
+    the page, and no node is left holding a copy the directory has
+    forgotten (a directory-orphaned copy would be invisible to every
+    future getpage).
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.cluster = Cluster(seed=0)
+        for _ in ACTIVE_NODES:
+            self.cluster.add_node(4)
+        self.cluster.add_node(12)  # idle global memory
+        self.cluster.warm_fill_uids(
+            [PageUid(SHARED_ORIGIN, v) for v in SHARED_VPNS],
+            exclude=tuple(ACTIVE_NODES),
+        )
+        self.clock = 0.0
+        self.resident = {n: set() for n in ACTIVE_NODES}
+
+    def _tick(self) -> float:
+        self.clock += 1.0
+        return self.clock
+
+    @rule(node=st.sampled_from(ACTIVE_NODES),
+          vpn=st.sampled_from(SHARED_VPNS))
+    def fault(self, node, vpn):
+        if vpn in self.resident[node]:
+            return
+        active = self.cluster.node(node)
+        if active.free_frames <= 0:
+            victim = active.oldest_local()
+            assert victim is not None
+            self.cluster.putpage(node, victim, age=self._tick())
+            self.resident[node].discard(victim.vpn)
+        self.cluster.getpage(
+            node, PageUid(SHARED_ORIGIN, vpn), self._tick()
+        )
+        self.resident[node].add(vpn)
+
+    @rule(node=st.sampled_from(ACTIVE_NODES),
+          vpn=st.sampled_from(SHARED_VPNS))
+    def evict(self, node, vpn):
+        if vpn not in self.resident[node]:
+            return
+        self.cluster.putpage(
+            node, PageUid(SHARED_ORIGIN, vpn), age=self._tick()
+        )
+        self.resident[node].discard(vpn)
+
+    @invariant()
+    def model_agrees_with_active_nodes(self):
+        for node_id in ACTIVE_NODES:
+            node = self.cluster.node(node_id)
+            held = {uid.vpn for uid, _ in node.page_ages()
+                    if node.holds_local(uid)}
+            assert held == self.resident[node_id]
+
+    @invariant()
+    def directory_entries_point_at_holders(self):
+        for vpn in SHARED_VPNS:
+            uid = PageUid(SHARED_ORIGIN, vpn)
+            holder = self.cluster.where_is(uid)
+            if holder is not None:
+                assert self.cluster.node(holder).holds(uid)
+
+    @invariant()
+    def no_copy_is_directory_orphaned(self):
+        for node in self.cluster.nodes.values():
+            for uid, _ in node.page_ages():
+                assert self.cluster.directory.contains(uid), (
+                    f"node {node.node_id} holds {uid} but the "
+                    f"directory forgot it"
+                )
+
+    @invariant()
+    def no_node_exceeds_capacity(self):
+        for node in self.cluster.nodes.values():
+            assert node.used <= node.capacity
+            assert node.free_frames >= 0
+
+
+TestSharedClusterStateMachine = SharedClusterMachine.TestCase
+TestSharedClusterStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

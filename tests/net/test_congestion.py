@@ -142,3 +142,49 @@ class TestDemandPreemptionAccounting:
         assert p2.arrival_ms[1] == pytest.approx(6.5)
         assert link.total_preemption_delay_ms == pytest.approx(1.0)
         assert link.total_queueing_delay_ms == pytest.approx(2.0)
+
+
+class TestShiftAll:
+    """Queueing a not-yet-started transfer slides its *whole* schedule.
+
+    Regression: ``LinkModel.background`` used ``shift_after(0.0, delay)``
+    to apply queueing delay, whose strict ``arrival > 0.0`` comparison
+    never moved an arrival stamped exactly at time zero — a fault at
+    clock 0 saw its follow-on subpage "arrive" before the link was free.
+    """
+
+    def test_shift_all_moves_time_zero_arrival(self):
+        p = pending({0: 0.0, 1: 1.0}, wire_end=2.0)
+        p.shift_all(1.5)
+        assert p.arrival_ms == {0: 1.5, 1: 2.5}
+        assert p.wire_end_ms == pytest.approx(3.5)
+
+    def test_shift_all_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            pending({0: 1.0}, 1.0).shift_all(-0.1)
+
+    def test_queued_zero_time_arrival_waits_for_link(self):
+        # Hand-computed: a demand transfer at t=0 occupies the wire for
+        # 1.5 ms.  A background transfer also ready at t=0 nominally
+        # delivers subpage 0 instantly (arrival 0.0) and subpage 1 at
+        # 1.0; queued behind the demand it starts at 1.5, so every
+        # arrival — including the time-zero one — slides by 1.5.
+        link = LinkModel()
+        link.demand(0.0, 1.5)
+        p = pending({0: 0.0, 1: 1.0}, wire_end=2.0)
+        delay = link.background(0.0, 2.0, p)
+        assert delay == pytest.approx(1.5)
+        assert p.arrival_ms[0] == pytest.approx(1.5)  # not 0.0
+        assert p.arrival_ms[1] == pytest.approx(2.5)
+        assert p.wire_end_ms == pytest.approx(3.5)
+        assert link.total_queueing_delay_ms == pytest.approx(1.5)
+
+    def test_demand_keeps_partial_shift(self):
+        # Contrast case: preemption of an *in-flight* transfer must keep
+        # using shift_after — arrivals already delivered do not move.
+        link = LinkModel()
+        p = pending({0: 0.5, 1: 2.0}, wire_end=2.0)
+        link.background(0.0, 2.0, p)
+        link.demand(1.0, 0.4)
+        assert p.arrival_ms[0] == pytest.approx(0.5)  # already arrived
+        assert p.arrival_ms[1] == pytest.approx(2.4)

@@ -1,0 +1,217 @@
+"""Golden equivalence: the fast engine is bit-identical to the reference.
+
+Every cell of the integration matrix (scheme x subpage size x memory
+configuration x backing) is run through both engines and the complete
+:class:`~repro.sim.results.SimulationResult` dataclasses are compared
+with ``==`` — which covers timing components, fault/eviction counters,
+fault records, stall intervals, and substrate statistics, all to the
+last float bit.  No tolerances anywhere: the fast engine reorders no
+arithmetic (see ``repro/sim/engine.py``).
+
+Distance tracking is disabled in the matrix configs because it demands
+per-hit hooks: with it on, ``engine="fast"`` silently falls back to the
+reference loop and the comparison would be vacuous.  The fallback
+conditions themselves are covered at the bottom with a poisoned
+``drive_fast``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimulationConfig, memory_pages_for
+from repro.sim.simulator import Simulator, simulate
+from repro.trace.compress import compress_references
+from repro.trace.synth.apps import build_app_trace
+
+from tests.conftest import make_trace, page_addr
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    """A few thousand runs with faults, stalls, re-references, writes.
+
+    Page visits sweep a handful of blocks (so subpage stalls and folds
+    happen under partial-fetch schemes) over a footprint a half-memory
+    config cannot hold (so evictions and re-faults happen too).
+    """
+    rng = np.random.default_rng(42)
+    visits = rng.integers(0, 48, size=1_500)
+    starts = rng.integers(0, 120, size=1_500)
+    blocks = (starts[:, None] + np.arange(6)) % 128
+    addrs = (visits[:, None] * 8192 + blocks * 64).ravel()
+    writes = rng.random(addrs.size) < 0.3
+    return compress_references(addrs, writes, name="mixed")
+
+
+def both_engines(trace, **overrides):
+    base = dict(track_distances=False)
+    base.update(overrides)
+    ref = simulate(trace, SimulationConfig(engine="reference", **base))
+    fast = simulate(trace, SimulationConfig(engine="fast", **base))
+    return ref, fast
+
+
+SCHEME_CELLS = [
+    ("fullpage", 8192),
+    ("lazy", 512),
+    ("lazy", 2048),
+    ("eager", 512),
+    ("eager", 2048),
+    ("pipelined", 512),
+    ("pipelined", 2048),
+]
+
+
+class TestMatrixEquivalence:
+    @pytest.mark.parametrize("scheme,subpage", SCHEME_CELLS)
+    @pytest.mark.parametrize("fraction", [1.0, 0.5, 0.25])
+    @pytest.mark.parametrize("backing", ["remote", "disk", "cluster"])
+    def test_cell(self, mixed_trace, scheme, subpage, fraction, backing):
+        ref, fast = both_engines(
+            mixed_trace,
+            memory_pages=memory_pages_for(mixed_trace, fraction),
+            scheme=scheme,
+            subpage_bytes=subpage,
+            backing=backing,
+        )
+        assert ref == fast
+
+    @pytest.mark.parametrize("app", ["gdb"])
+    def test_real_app_trace(self, app):
+        """One full-size synthetic application trace, both memory ends."""
+        trace = build_app_trace(app)
+        for fraction in (1.0, 0.25):
+            ref, fast = both_engines(
+                trace,
+                memory_pages=memory_pages_for(trace, fraction),
+                scheme="eager",
+                subpage_bytes=1024,
+            )
+            assert ref == fast
+
+
+class TestSubstrateEquivalence:
+    @pytest.mark.parametrize(
+        "replacement", ["lru", "fifo", "clock", "random"]
+    )
+    def test_replacement_policies(self, mixed_trace, replacement):
+        ref, fast = both_engines(
+            mixed_trace,
+            memory_pages=memory_pages_for(mixed_trace, 0.5),
+            scheme="eager",
+            subpage_bytes=1024,
+            replacement=replacement,
+        )
+        assert ref == fast
+
+    def test_tlb(self, mixed_trace):
+        """TLB misses interleave with the clock: forces the per-run
+        walk inside ``advance`` and must still match exactly."""
+        ref, fast = both_engines(
+            mixed_trace,
+            memory_pages=memory_pages_for(mixed_trace, 0.5),
+            scheme="eager",
+            subpage_bytes=1024,
+            tlb_entries=16,
+        )
+        assert ref == fast
+
+    def test_no_congestion(self, mixed_trace):
+        ref, fast = both_engines(
+            mixed_trace,
+            memory_pages=memory_pages_for(mixed_trace, 0.5),
+            scheme="pipelined",
+            subpage_bytes=1024,
+            congestion=False,
+        )
+        assert ref == fast
+
+
+class TestEdgeTraces:
+    def test_single_run(self):
+        trace = make_trace([page_addr(0)])
+        ref, fast = both_engines(trace, memory_pages=4)
+        assert ref == fast
+
+    def test_single_page_hammer(self):
+        """One page, many runs: the whole trace after the fault is one
+        bulk span ending at the tail ``advance``."""
+        addrs = [page_addr(0, off) for off in (0, 4096, 0, 4096)] * 500
+        ref, fast = both_engines(make_trace(addrs), memory_pages=4)
+        assert ref == fast
+
+    def test_trailing_hits(self):
+        """The last interesting event lands well before the end."""
+        addrs = [page_addr(p) for p in range(8)]
+        addrs += [page_addr(p % 8, 64 * (p % 100)) for p in range(3_000)]
+        ref, fast = both_engines(make_trace(addrs), memory_pages=16)
+        assert ref == fast
+
+    def test_alternating_writes(self):
+        addrs = [page_addr(p % 4, 512 * (p % 16)) for p in range(2_000)]
+        writes = [bool(i % 3 == 0) for i in range(2_000)]
+        ref, fast = both_engines(
+            make_trace(addrs, writes), memory_pages=8
+        )
+        assert ref == fast
+        assert fast.dirty_evictions == ref.dirty_evictions
+
+
+class TestFallback:
+    """Configs demanding per-event hooks must bypass the fast engine."""
+
+    def _poison(self, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("fast engine used despite fallback")
+
+        monkeypatch.setattr("repro.sim.simulator.drive_fast", boom)
+
+    def test_track_distances_falls_back(self, mixed_trace, monkeypatch):
+        self._poison(monkeypatch)
+        cfg = SimulationConfig(
+            memory_pages=32, engine="fast", track_distances=True
+        )
+        simulate(mixed_trace, cfg)
+
+    def test_palcode_falls_back(self, mixed_trace, monkeypatch):
+        self._poison(monkeypatch)
+        cfg = SimulationConfig(
+            memory_pages=32,
+            engine="fast",
+            protection="palcode",
+            track_distances=False,
+        )
+        simulate(mixed_trace, cfg)
+
+    def test_observe_falls_back(self, mixed_trace, monkeypatch):
+        self._poison(monkeypatch)
+        cfg = SimulationConfig(
+            memory_pages=32,
+            engine="fast",
+            observe="metrics",
+            track_distances=False,
+        )
+        simulate(mixed_trace, cfg)
+
+    def test_instrument_falls_back(self, mixed_trace, monkeypatch):
+        from repro.obs.instrument import Instrument
+
+        self._poison(monkeypatch)
+        cfg = SimulationConfig(
+            memory_pages=32, engine="fast", track_distances=False
+        )
+        Simulator(cfg, instrument=Instrument()).run(mixed_trace)
+
+    def test_fast_path_taken_when_unobstructed(
+        self, mixed_trace, monkeypatch
+    ):
+        """Sanity for the poison technique: the default-engine config
+        with hooks disabled really does enter ``drive_fast``."""
+        self._poison(monkeypatch)
+        cfg = SimulationConfig(
+            memory_pages=32, engine="fast", track_distances=False
+        )
+        with pytest.raises(AssertionError, match="fast engine used"):
+            simulate(mixed_trace, cfg)

@@ -107,3 +107,30 @@ class TestCapacityInteraction:
             result.per_node["a"].page_faults
             + result.per_node["b"].page_faults
         )
+
+
+class TestSharedEvictions:
+    def test_sharer_evictions_drop_copies(self):
+        """Regression: a small workload thrashing over shared pages used
+        to forward its redundant copies through putpage, crashing (the
+        forward target often already held the page) or re-pointing the
+        directory away from the canonical holder."""
+        shared = list(range(8, 16))
+        a = NodeWorkload(
+            "a", trace_for(shared, "a"),
+            memory_pages=16, shared_from_page=8,
+        )
+        # b cycles over the shared region with room for only 3 pages:
+        # every cycle evicts shared copies while "a" still holds them.
+        b = NodeWorkload(
+            "b", trace_for(shared * 4, "b"),
+            memory_pages=3, shared_from_page=8,
+        )
+        result = run_multi_workload([a, b])
+        assert result.shared_copies > 0
+        # Redundant copies are discarded, never forwarded or written
+        # back: each of b's shared evictions counts a discard.
+        evictions = result.per_node["b"].evictions
+        assert evictions > 0
+        assert result.cluster_stats["discards"] >= evictions
+        assert result.cluster_stats["disk_writebacks"] == 0

@@ -163,3 +163,59 @@ def test_lru_matches_reference_model(ops):
     assert len(policy) == len(model)
     for page in model:
         assert page in policy
+
+
+class TestLruHints:
+    """The note_pending/note_settled hint path picks the same victim as
+    the plain predicate scan whenever the hint contract holds (every
+    unmarked page satisfies ``prefer``)."""
+
+    def _mirror(self, pending):
+        a, b = LruPolicy(), LruPolicy()
+        for page in range(6):
+            a.insert(page)
+            b.insert(page)
+        for page in pending:
+            a.note_pending(page)
+        return a, b, (lambda p: p not in pending)
+
+    def test_unmarked_head_wins_without_probe(self):
+        pending = {0, 1}
+        hinted, plain, prefer = self._mirror(pending)
+        probed = []
+
+        def spy(p):
+            probed.append(p)
+            return prefer(p)
+
+        assert hinted.evict(spy) == plain.evict(prefer) == 2
+        assert probed == [0, 1]  # only marked pages are probed
+
+    def test_settled_mark_cleared(self):
+        hinted, plain, prefer = self._mirror({0})
+        hinted.note_settled(0)
+        # 0 is unmarked again: preferred by contract, no probe at all.
+        assert hinted.evict(lambda p: pytest.fail("probed")) == 0
+
+    def test_stale_mark_lazily_cleared_by_probe(self):
+        # A marked page whose transfers finished without a settle hint
+        # is probed once, unmarked, and evicted.
+        hinted, _, _ = self._mirror({0, 1, 2, 3, 4, 5})
+        assert hinted.evict(lambda p: p >= 0) == 0
+
+    def test_all_marked_and_rejected_falls_back_to_lru_head(self):
+        hinted, _, _ = self._mirror({0, 1, 2, 3, 4, 5})
+        assert hinted.evict(lambda p: False) == 0
+
+    def test_unhinted_policy_keeps_full_scan(self):
+        plain = LruPolicy()
+        for page in range(4):
+            plain.insert(page)
+        # Ad-hoc predicate, no hints ever given: original behaviour.
+        assert plain.evict(lambda p: p % 2 == 1) == 1
+
+    def test_eviction_discards_mark(self):
+        hinted, _, _ = self._mirror({3})
+        hinted.note_pending(2)
+        hinted.evict(None)  # evicts 0, hint state for 2/3 intact
+        assert hinted.evict(lambda p: p == 3) == 1

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Engine throughput gate: run both engines, record BENCH_throughput.json.
+
+Runs the hit-dominated benchmark workload (the same construction as
+``benchmarks/bench_simulator_throughput.py``'s ``hit_trace`` fixture)
+through the fast and reference engines, appends one entry to the
+``BENCH_throughput.json`` perf trajectory at the repo root, and exits
+non-zero if the fast engine's speedup falls below the gate.
+
+The CI gate (2x) is deliberately looser than the benchmark suite's
+assertion (3x): shared CI runners are noisy, and the job should catch
+"the fast path stopped being fast" regressions, not flake on scheduler
+jitter.
+
+Usage:  python tools/bench_throughput.py [--min-speedup 2.0]
+                                         [--out BENCH_throughput.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, "src")
+
+import numpy as np
+
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.trace.compress import compress_references
+
+ROUNDS = 5
+
+#: (label, scheme, subpage_bytes) cells timed on both engines.  The
+#: fullpage cell is the gated one — after the fault the page is complete,
+#: so the trace is pure bulk spans; the eager cell also exercises
+#: subpage stalls and is reported for the trajectory only.
+CELLS = [
+    ("fullpage_8192", "fullpage", 8192),
+    ("eager_1024", "eager", 1024),
+]
+GATED_CELL = "fullpage_8192"
+
+
+def hit_trace():
+    """Hit-dominated workload; keep in sync with the bench fixture."""
+    rng = np.random.default_rng(7)
+    visits = rng.integers(0, 400, size=60_000)
+    starts = rng.integers(0, 112, size=60_000)
+    blocks = (starts[:, None] + np.arange(16)) % 128
+    addrs = (visits[:, None] * 8192 + blocks * 64).ravel()
+    refs = np.repeat(addrs, 4) + np.tile(
+        np.arange(4, dtype=np.int64) * 8, addrs.size
+    )
+    return compress_references(refs, name="hitstream")
+
+
+def best_of(trace, config, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        simulate(trace, config)
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def time_cell(trace, scheme, subpage):
+    timings = {}
+    for engine in ("fast", "reference"):
+        config = SimulationConfig(
+            memory_pages=512,
+            scheme=scheme,
+            subpage_bytes=subpage,
+            engine=engine,
+            track_distances=False,
+            record_faults=False,
+        )
+        timings[engine] = best_of(trace, config)
+    return {
+        "fast_ms": round(timings["fast"] * 1e3, 3),
+        "reference_ms": round(timings["reference"] * 1e3, 3),
+        "speedup": round(timings["reference"] / timings["fast"], 3),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_throughput.json")
+    )
+    args = parser.parse_args()
+
+    trace = hit_trace()
+    cells = {
+        label: time_cell(trace, scheme, subpage)
+        for label, scheme, subpage in CELLS
+    }
+    for label, cell in cells.items():
+        print(
+            f"{label:15s} reference {cell['reference_ms']:8.1f} ms   "
+            f"fast {cell['fast_ms']:8.1f} ms   {cell['speedup']:.2f}x"
+        )
+
+    entry = {
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "trace": {
+            "name": "hitstream",
+            "num_runs": trace.num_runs,
+            "num_references": trace.num_references,
+        },
+        "rounds": ROUNDS,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cells": cells,
+    }
+    history = []
+    if args.out.exists():
+        history = json.loads(args.out.read_text())
+    history.append(entry)
+    args.out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended entry {len(history)} to {args.out}")
+
+    gated = cells[GATED_CELL]["speedup"]
+    if gated < args.min_speedup:
+        print(
+            f"FAIL: {GATED_CELL} speedup {gated:.2f}x is below the "
+            f"{args.min_speedup:.1f}x gate"
+        )
+        return 1
+    print(f"OK: {GATED_CELL} speedup {gated:.2f}x >= "
+          f"{args.min_speedup:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
