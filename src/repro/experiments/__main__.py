@@ -28,7 +28,12 @@ import time
 from pathlib import Path
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment
-from repro.sim.parallel import CellEvent, ExecutionOptions, ResultCache
+from repro.sim.parallel import (
+    CellEvent,
+    ExecutionOptions,
+    ResultCache,
+    WorkerPool,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,7 +122,13 @@ def make_progress_printer(stream=None):
 
 
 def build_options(args: argparse.Namespace) -> ExecutionOptions:
-    """Execution options from CLI flags layered over the environment."""
+    """Execution options from CLI flags layered over the environment.
+
+    When workers are requested, a persistent :class:`WorkerPool` is
+    installed so every experiment of the invocation shares one set of
+    worker processes and one shared-memory trace arena; ``main`` closes
+    it on the way out.
+    """
     options = ExecutionOptions.from_env()
     if args.workers is not None:
         options.workers = max(1, args.workers)
@@ -131,6 +142,8 @@ def build_options(args: argparse.Namespace) -> ExecutionOptions:
     if getattr(args, "metrics_out", None):
         tokens.add("metrics")
     options.observe = ",".join(sorted(tokens))
+    if options.workers > 1:
+        options.pool = WorkerPool(options.workers)
     return options
 
 
@@ -235,32 +248,37 @@ def main(argv: list[str] | None = None) -> int:
     collector = None
     if args.trace_out or args.metrics_out or options.trace_dir:
         collector = _ObsCollector(options, args)
-    for exp_id in ids:
-        experiment = get_experiment(exp_id)
-        started = time.perf_counter()
-        result = experiment.run_with(options)
-        report = experiment.render(result)
-        elapsed = time.perf_counter() - started
+    try:
+        for exp_id in ids:
+            experiment = get_experiment(exp_id)
+            started = time.perf_counter()
+            result = experiment.run_with(options)
+            report = experiment.render(result)
+            elapsed = time.perf_counter() - started
+            if collector is not None:
+                collector.collect(exp_id, result)
+            print("=" * 72)
+            print(f"{exp_id}: {experiment.title}  [{elapsed:.1f}s]")
+            print("=" * 72)
+            print(report)
+            print()
+            if args.csv:
+                from pathlib import Path
+
+                from repro.experiments.export import export_csv
+
+                out_dir = Path(args.csv)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                for name, text in export_csv(exp_id, result).items():
+                    path = out_dir / name
+                    path.write_text(text)
+                    print(f"wrote {path}")
         if collector is not None:
-            collector.collect(exp_id, result)
-        print("=" * 72)
-        print(f"{exp_id}: {experiment.title}  [{elapsed:.1f}s]")
-        print("=" * 72)
-        print(report)
-        print()
-        if args.csv:
-            from pathlib import Path
-
-            from repro.experiments.export import export_csv
-
-            out_dir = Path(args.csv)
-            out_dir.mkdir(parents=True, exist_ok=True)
-            for name, text in export_csv(exp_id, result).items():
-                path = out_dir / name
-                path.write_text(text)
-                print(f"wrote {path}")
-    if collector is not None:
-        collector.finish()
+            collector.finish()
+    finally:
+        if options.pool is not None:
+            options.pool.close()
+            options.pool = None
     if options.cache is not None and (options.cache.hits
                                       or options.cache.misses):
         print(

@@ -20,7 +20,12 @@ from functools import lru_cache
 from typing import Any, Iterable, Iterator
 
 from repro.sim.config import SimulationConfig, memory_pages_for
-from repro.sim.parallel import ExecutionOptions, SweepJob, run_cells
+from repro.sim.parallel import (
+    ExecutionOptions,
+    SweepJob,
+    WorkerPool,
+    run_cells,
+)
 from repro.sim.results import SimulationResult
 from repro.trace.compress import RunTrace
 from repro.trace.synth.apps import build_app_trace
@@ -76,14 +81,30 @@ def set_execution_options(options: ExecutionOptions) -> None:
 
 @contextmanager
 def execution_scope(options: ExecutionOptions) -> Iterator[ExecutionOptions]:
-    """Temporarily install ``options`` as the ambient execution options."""
+    """Temporarily install ``options`` as the ambient execution options.
+
+    When the options ask for workers but carry no
+    :class:`~repro.sim.parallel.WorkerPool`, the scope creates one and
+    owns it: every ``run_cells`` batch inside the scope reuses the same
+    worker processes and shared-memory trace arena, and the pool (and
+    its arena's segments) is torn down on scope exit.  A pool installed
+    by the caller — e.g. the CLI, which keeps one pool alive across all
+    the experiments of an invocation — is left untouched.
+    """
     global _OPTIONS
     previous = _OPTIONS
     _OPTIONS = options
+    owned: WorkerPool | None = None
+    if options.pool is None and options.workers > 1:
+        options.pool = owned = WorkerPool(options.workers)
     try:
         yield options
     finally:
         _OPTIONS = previous
+        if owned is not None:
+            if options.pool is owned:
+                options.pool = None
+            owned.close()
 
 
 @lru_cache(maxsize=16)
@@ -168,7 +189,11 @@ def warm_runs(
         ))
     if jobs:
         _RUN_CACHE.update(run_cells(
-            jobs, workers=workers, cache=options.cache, progress=progress
+            jobs,
+            workers=workers,
+            cache=options.cache,
+            progress=progress,
+            pool=options.pool,
         ))
 
 

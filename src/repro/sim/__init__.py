@@ -16,8 +16,10 @@ from repro.sim.parallel import (
     ResultCache,
     SweepJob,
     TraceRef,
+    WorkerPool,
     run_cells,
 )
+from repro.sim.shm import SharedTraceArena, TraceHandle
 from repro.sim.replacement import (
     ClockPolicy,
     FifoPolicy,
@@ -54,6 +56,7 @@ __all__ = [
     "ReplacementPolicy",
     "ResultCache",
     "SeedStudy",
+    "SharedTraceArena",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
@@ -62,7 +65,9 @@ __all__ = [
     "TimeComponents",
     "TlbModel",
     "TlbStats",
+    "TraceHandle",
     "TraceRef",
+    "WorkerPool",
     "make_policy",
     "memory_pages_for",
     "run_cells",

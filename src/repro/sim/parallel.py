@@ -13,15 +13,26 @@ on:
   when ``workers <= 1`` — so results are always bit-identical to a
   serial run (the simulator is deterministic and shares no state across
   cells).
+* :class:`WorkerPool` is the persistent execution substrate: a
+  long-lived process pool plus a
+  :class:`~repro.sim.shm.SharedTraceArena` that publishes each unique
+  trace's arrays into shared memory once, so jobs ship a tiny
+  :class:`~repro.sim.shm.TraceHandle` instead of pickling the arrays
+  per cell.  ``experiments.common.execution_scope`` creates one pool
+  and reuses it across every ``run_cells`` batch in the scope.
 * :class:`ResultCache` is a content-keyed on-disk cache: a cell's key
   hashes the trace fingerprint (array contents + granularities) together
   with every configuration field, so re-running an experiment skips
   completed cells and any input change misses cleanly.
 * :class:`CellEvent` progress callbacks report per-cell status and
   timing; ``python -m repro.experiments --progress`` surfaces them.
+  Pooled cells are collected ``as_completed``, so events and cache
+  write-through happen as cells finish, not in submission order.
 
-Environment knobs: ``REPRO_WORKERS`` sets the default worker count and
-``REPRO_CACHE_DIR`` enables (and locates) the default result cache.
+Environment knobs: ``REPRO_WORKERS`` sets the default worker count,
+``REPRO_CACHE_DIR`` enables (and locates) the default result cache, and
+``REPRO_SHM`` controls the shared-memory arena (see
+:mod:`repro.sim.shm`).
 """
 
 from __future__ import annotations
@@ -31,14 +42,16 @@ import hashlib
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
 from repro.errors import ConfigError
+from repro.sim import shm
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
+from repro.sim.shm import SharedTraceArena, TraceHandle
 from repro.sim.simulator import simulate
 from repro.trace.compress import RunTrace
 
@@ -84,14 +97,16 @@ class TraceRef:
 
 @dataclass(frozen=True, slots=True)
 class SweepJob:
-    """One sweep cell: a trace (or reference) plus a configuration.
+    """One sweep cell: a trace (or reference/handle) plus a configuration.
 
     ``key`` identifies the cell in :func:`run_cells`'s result mapping and
     in progress events; it must be unique within a batch and hashable.
+    ``trace`` may also be a :class:`~repro.sim.shm.TraceHandle`
+    published by a :class:`~repro.sim.shm.SharedTraceArena`.
     """
 
     key: Any
-    trace: RunTrace | TraceRef
+    trace: RunTrace | TraceRef | TraceHandle
     config: SimulationConfig
 
 
@@ -100,9 +115,10 @@ class CellEvent:
     """Progress report for one sweep cell.
 
     ``status`` is ``"done"`` (computed), ``"cached"`` (served from the
-    result cache), or ``"fallback"`` (computed inline after the parallel
-    path could not take it).  ``elapsed_s`` is the cell's own compute
-    time (zero for cache hits).
+    result cache), ``"fallback"`` (computed inline because the payload
+    could not be pickled to a worker), or ``"retried"`` (computed inline
+    after a worker or the pool itself failed mid-batch).  ``elapsed_s``
+    is the cell's own compute time (zero for cache hits).
     """
 
     key: Any
@@ -136,24 +152,21 @@ def default_cache() -> "ResultCache | None":
 # -- content fingerprints ---------------------------------------------------
 
 
-def trace_fingerprint(trace: RunTrace | TraceRef) -> str:
-    """A stable content fingerprint for a trace or trace reference.
+def trace_fingerprint(trace: RunTrace | TraceRef | TraceHandle) -> str:
+    """A stable content fingerprint for a trace, reference, or handle.
 
     References fingerprint by name/seed/scale (generation is
     deterministic); materialized traces hash their run arrays and
-    granularities.
+    granularities (cached on the trace — see
+    :meth:`RunTrace.fingerprint`); handles carry the fingerprint of the
+    trace they were published from, so a cell keys the same whether it
+    ships arrays or a handle.
     """
     if isinstance(trace, TraceRef):
         return f"ref:{trace.app}:{trace.seed}:{trace.scale}"
-    digest = hashlib.sha256()
-    for arr in (trace.pages, trace.blocks, trace.counts, trace.writes):
-        digest.update(arr.tobytes())
-    meta = (
-        f"{trace.page_bytes}:{trace.block_bytes}:{trace.dilation}:"
-        f"{trace.name}"
-    )
-    digest.update(meta.encode())
-    return f"sha:{digest.hexdigest()}"
+    if isinstance(trace, TraceHandle):
+        return trace.fingerprint
+    return trace.fingerprint()
 
 
 def config_fingerprint(config: SimulationConfig) -> str | None:
@@ -177,7 +190,7 @@ def config_fingerprint(config: SimulationConfig) -> str | None:
 
 
 def cell_cache_key(
-    trace: RunTrace | TraceRef, config: SimulationConfig
+    trace: RunTrace | TraceRef | TraceHandle, config: SimulationConfig
 ) -> str | None:
     """Content key for one cell, or ``None`` when uncacheable."""
     cfg_fp = config_fingerprint(config)
@@ -240,6 +253,93 @@ class ResultCache:
 # -- execution --------------------------------------------------------------
 
 
+class WorkerPool:
+    """A persistent process pool plus a shared-memory trace arena.
+
+    Create one per sweep session (``experiments.common.execution_scope``
+    does this when the ambient options ask for workers) and pass it to
+    every :func:`run_cells` call: worker processes survive across
+    batches — keeping their per-process materialized-trace LRUs warm —
+    and each unique trace crosses the process boundary at most once,
+    through the arena.  Without a pool, :func:`run_cells` builds a
+    transient one per batch, which still gets the arena's zero-copy
+    shipping but pays process start-up every time.
+
+    The pool transparently replaces an executor that a worker crash has
+    broken, so a failed batch does not poison subsequent ones.
+    :meth:`close` shuts the executor down and unlinks the arena's
+    segments; the pool is also a context manager.
+    """
+
+    def __init__(
+        self, workers: int, arena: SharedTraceArena | None = None
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.arena = SharedTraceArena() if arena is None else arena
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor, replacing one a worker crash broke."""
+        if self._closed:
+            raise ConfigError("WorkerPool is closed")
+        if self._executor is not None and getattr(
+            self._executor, "_broken", False
+        ):
+            self.discard_executor()
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def discard_executor(self) -> None:
+        """Drop the current executor (after a pool-level failure)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
+    def prepare(
+        self, trace: RunTrace | TraceRef | TraceHandle
+    ) -> RunTrace | TraceRef | TraceHandle:
+        """The payload a job should ship: a handle when the arena can.
+
+        References and handles already pickle in a few bytes;
+        materialized traces are published to the arena (once per unique
+        content) and replaced by their handle.  When the arena is
+        disabled or unavailable the original trace is returned and the
+        cell falls back to per-cell pickling.
+        """
+        if isinstance(trace, RunTrace):
+            handle = self.arena.publish(trace)
+            if handle is not None:
+                return handle
+        return trace
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=True, cancel_futures=True)
+            except Exception:
+                pass
+        self.arena.close()
+
+
 @dataclass(slots=True)
 class ExecutionOptions:
     """How sweep cells should be executed (workers, cache, progress).
@@ -248,7 +348,11 @@ class ExecutionOptions:
     experiment helpers build (see ``SimulationConfig.observe``);
     ``trace_dir`` asks the CLI to write per-experiment trace/metrics
     files into a directory (``REPRO_TRACE_DIR``), implying
-    ``observe="metrics,trace"`` unless set explicitly.
+    ``observe="metrics,trace"`` unless set explicitly.  ``pool`` is a
+    persistent :class:`WorkerPool` reused across every batch executed
+    under these options; whoever sets it owns its lifecycle
+    (``experiments.common.execution_scope`` installs and closes one
+    automatically when ``workers > 1``).
     """
 
     workers: int = 1
@@ -256,6 +360,7 @@ class ExecutionOptions:
     progress: ProgressCallback | None = None
     observe: str = ""
     trace_dir: str | None = None
+    pool: WorkerPool | None = None
 
     @classmethod
     def from_env(cls) -> "ExecutionOptions":
@@ -269,12 +374,23 @@ class ExecutionOptions:
 
 
 def _execute(
-    trace: RunTrace | TraceRef, config: SimulationConfig
+    trace: RunTrace | TraceRef | TraceHandle, config: SimulationConfig
 ) -> tuple[SimulationResult, float]:
-    """Worker entry point: simulate one cell, timing the compute."""
+    """Worker entry point: simulate one cell, timing the compute.
+
+    References and handles materialize through the process-local LRU
+    (:func:`repro.sim.shm.cached_trace`), so a worker that sees the same
+    trace again — the common case in a sweep — reuses the already-built
+    ``RunTrace`` along with its warm column caches.
+    """
     started = time.perf_counter()
     if isinstance(trace, TraceRef):
-        trace = trace.materialize()
+        ref = trace
+        trace = shm.cached_trace(
+            trace_fingerprint(ref), lambda: (ref.materialize(), None)
+        )
+    elif isinstance(trace, TraceHandle):
+        trace = shm.cached_trace(trace.fingerprint, trace.attach)
     result = simulate(trace, config)
     return result, time.perf_counter() - started
 
@@ -284,57 +400,122 @@ def _emit(progress: ProgressCallback | None, event: CellEvent) -> None:
         progress(event)
 
 
-def _picklable(job: SweepJob) -> bool:
+def _try_pickle(obj: Any) -> bool:
     try:
-        pickle.dumps(
-            (job.trace, job.config), protocol=pickle.HIGHEST_PROTOCOL
-        )
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception:
         return False
     return True
 
 
+def _payload_picklable(
+    trace: RunTrace | TraceRef | TraceHandle,
+    config: SimulationConfig,
+    memo: dict,
+) -> bool:
+    """Whether a (trace, config) payload can ship to a worker.
+
+    ``memo`` is a per-batch cache keyed by object identity: a sweep
+    whose 50 cells share one trace pickles it for the check once, not
+    50 times (and handles/references skip the check entirely — they are
+    plain dataclasses of primitives).  Identity keying is safe because
+    the batch's job list keeps every payload alive for the duration.
+    """
+    if isinstance(trace, (TraceRef, TraceHandle)):
+        trace_ok = True
+    else:
+        key = ("trace", id(trace))
+        trace_ok = memo.get(key)
+        if trace_ok is None:
+            trace_ok = memo[key] = _try_pickle(trace)
+    if not trace_ok:
+        return False
+    key = ("config", id(config))
+    config_ok = memo.get(key)
+    if config_ok is None:
+        config_ok = memo[key] = _try_pickle(config)
+    return config_ok
+
+
 def _run_pool(
     todo: list[tuple[SweepJob, str | None]],
-    workers: int,
+    pool: WorkerPool,
     cache: ResultCache | None,
     progress: ProgressCallback | None,
     results: dict[Any, SimulationResult],
-) -> list[tuple[SweepJob, str | None]]:
-    """Run picklable cells in a process pool, filling ``results``.
+) -> list[tuple[SweepJob, str | None, str]]:
+    """Run shippable cells through the pool, filling ``results``.
 
-    Returns the cells that still need inline execution (unpicklable
-    payloads, worker failures, or a broken pool).
+    Futures are collected ``as_completed``, so progress events and cache
+    write-through happen as cells finish rather than in submission
+    order.  Returns the cells that still need inline execution as
+    ``(job, cache_key, status)`` triples — ``"fallback"`` for payloads
+    that could not pickle, ``"retried"`` for worker or pool failures.
+    When the pool itself dies mid-batch, futures that already completed
+    are harvested first (their results and cache write-through are kept)
+    and only the genuinely unfinished cells re-run inline.
     """
-    fallback, shippable = [], []
-    for entry in todo:
-        (shippable if _picklable(entry[0]) else fallback).append(entry)
+    inline: list[tuple[SweepJob, str | None, str]] = []
+    shippable: list[tuple[SweepJob, str | None, Any]] = []
+    memo: dict = {}
+    for job, ckey in todo:
+        payload = pool.prepare(job.trace)
+        if _payload_picklable(payload, job.config, memo):
+            shippable.append((job, ckey, payload))
+        else:
+            inline.append((job, ckey, "fallback"))
     if not shippable:
-        return fallback
+        return inline
+
+    def record(job: SweepJob, ckey: str | None, result, elapsed) -> None:
+        results[job.key] = result
+        if cache is not None and ckey is not None:
+            cache.put(ckey, result)
+        _emit(progress, CellEvent(job.key, "done", elapsed))
+
+    futures: dict[Any, Any] = {}
+    handled: set[Any] = set()
     try:
-        max_workers = min(workers, len(shippable))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                (job, ckey, pool.submit(_execute, job.trace, job.config))
-                for job, ckey in shippable
-            ]
-            for job, ckey, future in futures:
+        executor = pool.executor()
+        fut_to_cell = {}
+        for job, ckey, payload in shippable:
+            future = executor.submit(_execute, payload, job.config)
+            futures[job.key] = future
+            fut_to_cell[future] = (job, ckey)
+        for future in as_completed(fut_to_cell):
+            job, ckey = fut_to_cell[future]
+            handled.add(job.key)
+            try:
+                result, elapsed = future.result()
+            except Exception:
+                inline.append((job, ckey, "retried"))
+            else:
+                record(job, ckey, result, elapsed)
+    except Exception:
+        # The pool itself failed (fork unavailable, broken worker
+        # teardown, ...).  Keep every result a worker already produced —
+        # including its cache write-through — and run the rest inline.
+        pool.discard_executor()
+        for job, ckey, _ in shippable:
+            if job.key in handled:
+                continue
+            future = futures.get(job.key)
+            if (
+                future is not None
+                and future.done()
+                and not future.cancelled()
+            ):
                 try:
                     result, elapsed = future.result()
                 except Exception:
-                    fallback.append((job, ckey))
+                    pass
+                else:
+                    record(job, ckey, result, elapsed)
                     continue
-                results[job.key] = result
-                if cache is not None and ckey is not None:
-                    cache.put(ckey, result)
-                _emit(progress, CellEvent(job.key, "done", elapsed))
-    except Exception:
-        # The pool itself failed (fork unavailable, interpreter teardown,
-        # ...): whatever did not finish runs inline.
-        fallback.extend(
-            entry for entry in shippable if entry[0].key not in results
-        )
-    return fallback
+            if future is not None:
+                future.cancel()
+            inline.append((job, ckey, "retried"))
+    return inline
 
 
 def run_cells(
@@ -343,19 +524,30 @@ def run_cells(
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
     metrics: Any | None = None,
+    pool: WorkerPool | None = None,
 ) -> dict[Any, SimulationResult]:
     """Execute sweep cells, in parallel when asked, returning by key.
 
-    ``workers=None`` reads ``REPRO_WORKERS`` (default 1); ``workers<=1``
-    runs inline.  When a ``cache`` is given, cacheable cells are served
-    from it and newly computed results are written through.  Every cell
-    reports a :class:`CellEvent` to ``progress``.  ``metrics`` may be a
-    :class:`repro.obs.metrics.MetricsRegistry`: each cell whose config
-    enabled metrics collection merges its registry into it (cache hits
-    included), giving a batch-wide view.
+    ``workers=None`` reads ``REPRO_WORKERS`` (default 1), or takes the
+    worker count of ``pool`` when one is given; ``workers<=1`` runs
+    inline.  When a ``cache`` is given, cacheable cells are served from
+    it and newly computed results are written through.  Every cell
+    reports exactly one :class:`CellEvent` to ``progress``.  ``metrics``
+    may be a :class:`repro.obs.metrics.MetricsRegistry`: each cell whose
+    config enabled metrics collection merges its registry into it (cache
+    hits included), giving a batch-wide view.
+
+    ``pool`` is a persistent :class:`WorkerPool` to execute on; without
+    one, a transient pool (own arena, own worker processes) is built for
+    the batch and closed afterwards.  Either way, traces are published
+    to the pool's shared-memory arena and jobs ship
+    :class:`~repro.sim.shm.TraceHandle` payloads when the platform
+    allows, falling back to per-cell pickling when it does not.
 
     Results are identical to running :func:`simulate` serially on each
-    cell in job order, whatever the worker count.
+    cell in job order, whatever the worker count or shipping path; the
+    returned dict is in job order even though pooled cells complete out
+    of order.
     """
     jobs = list(jobs)
     seen: set[Any] = set()
@@ -364,7 +556,10 @@ def run_cells(
             raise ConfigError(f"duplicate sweep cell key {job.key!r}")
         seen.add(job.key)
     if workers is None:
-        workers = default_workers()
+        workers = (
+            pool.workers if pool is not None and not pool.closed
+            else default_workers()
+        )
 
     results: dict[Any, SimulationResult] = {}
     todo: list[tuple[SweepJob, str | None]] = []
@@ -378,18 +573,24 @@ def run_cells(
                 continue
         todo.append((job, ckey))
 
+    remaining: list[tuple[SweepJob, str | None, str]]
     if workers > 1 and len(todo) > 1:
-        remaining = _run_pool(todo, workers, cache, progress, results)
-        inline_status = "fallback"
+        owned: WorkerPool | None = None
+        if pool is None or pool.closed:
+            pool = owned = WorkerPool(workers)
+        try:
+            remaining = _run_pool(todo, pool, cache, progress, results)
+        finally:
+            if owned is not None:
+                owned.close()
     else:
-        remaining = todo
-        inline_status = "done"
-    for job, ckey in remaining:
+        remaining = [(job, ckey, "done") for job, ckey in todo]
+    for job, ckey, status in remaining:
         result, elapsed = _execute(job.trace, job.config)
         results[job.key] = result
         if cache is not None and ckey is not None:
             cache.put(ckey, result)
-        _emit(progress, CellEvent(job.key, inline_status, elapsed))
+        _emit(progress, CellEvent(job.key, status, elapsed))
     ordered = {job.key: results[job.key] for job in jobs}
     if metrics is not None:
         for result in ordered.values():

@@ -15,6 +15,7 @@ from repro.sim.parallel import (
     ProgressCallback,
     ResultCache,
     SweepJob,
+    WorkerPool,
     run_cells,
 )
 from repro.sim.results import SimulationResult
@@ -68,6 +69,7 @@ def run_subpage_sweep(
     workers: int | None = None,
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
+    pool: WorkerPool | None = None,
 ) -> SweepResult:
     """The Figure 3 grid: rows = memory configs, columns = schemes/sizes.
 
@@ -77,9 +79,10 @@ def run_subpage_sweep(
 
     Cells route through :func:`repro.sim.parallel.run_cells`:
     ``workers`` fans them out over processes (``None`` reads
-    ``REPRO_WORKERS``), ``cache`` skips cells already computed, and
-    ``progress`` receives per-cell events.  Results are identical at any
-    worker count.
+    ``REPRO_WORKERS``), ``cache`` skips cells already computed,
+    ``progress`` receives per-cell events, and ``pool`` reuses a
+    persistent :class:`~repro.sim.parallel.WorkerPool`.  Results are
+    identical at any worker count.
     """
     jobs: list[SweepJob] = []
     for row_label, fraction in memory_fractions.items():
@@ -119,7 +122,7 @@ def run_subpage_sweep(
                 config=cfg,
             ))
     results = run_cells(
-        jobs, workers=workers, cache=cache, progress=progress
+        jobs, workers=workers, cache=cache, progress=progress, pool=pool
     )
     sweep = SweepResult()
     for job in jobs:
@@ -197,6 +200,7 @@ def run_memory_sweep(
     workers: int | None = None,
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
+    pool: WorkerPool | None = None,
 ) -> dict[str, SimulationResult]:
     """One configuration across several memory sizes."""
     jobs = [
@@ -209,4 +213,6 @@ def run_memory_sweep(
         )
         for label, fraction in memory_fractions.items()
     ]
-    return run_cells(jobs, workers=workers, cache=cache, progress=progress)
+    return run_cells(
+        jobs, workers=workers, cache=cache, progress=progress, pool=pool
+    )

@@ -17,6 +17,7 @@ from read to write, so dirty-page tracking stays exact.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -239,6 +240,29 @@ class RunTrace:
             cols = TraceColumns(self, subpage_bytes, base)
             self._cols[subpage_bytes] = cols
         return cols
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of the trace (cached).
+
+        Hashes the run arrays together with the granularities, dilation,
+        and name.  The parallel executor keys its result cache on this,
+        and the shared-memory arena uses it to publish each unique trace
+        exactly once — caching it here means a 50-cell sweep over one
+        trace hashes the arrays once, not 50 times.
+        """
+        fp = self._cols.get("fp")
+        if fp is None:
+            digest = hashlib.sha256()
+            for arr in (self.pages, self.blocks, self.counts, self.writes):
+                digest.update(np.ascontiguousarray(arr).tobytes())
+            meta = (
+                f"{self.page_bytes}:{self.block_bytes}:{self.dilation}:"
+                f"{self.name}"
+            )
+            digest.update(meta.encode())
+            fp = f"sha:{digest.hexdigest()}"
+            self._cols["fp"] = fp
+        return fp
 
     def occurrences(self) -> dict[int, list[int]]:
         """Cached map of page -> ascending run indices touching it.

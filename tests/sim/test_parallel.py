@@ -1,18 +1,23 @@
 """The parallel sweep executor: equivalence, caching, fallback.
 
 The contract under test is the one ``docs/PARALLEL.md`` documents:
-whatever the worker count, ``run_cells`` returns results bit-identical
-to serial execution; the on-disk cache serves completed cells back and
-misses on any input change; unpicklable payloads fall back to inline
-execution instead of failing.
+whatever the worker count or trace-shipping path (inline, per-cell
+pickle, shared-memory arena), ``run_cells`` returns results
+bit-identical to serial execution, in job order, with exactly one
+progress event per cell; the on-disk cache serves completed cells back
+and misses on any input change; unpicklable payloads fall back to
+inline execution and worker failures retry inline instead of failing.
 """
 
+import os
 import pickle
 
 import numpy as np
 import pytest
 
 from repro.errors import ConfigError
+from repro.obs import MetricsRegistry
+from repro.sim import parallel
 from repro.sim.config import SimulationConfig
 from repro.sim.parallel import (
     CellEvent,
@@ -20,16 +25,28 @@ from repro.sim.parallel import (
     ResultCache,
     SweepJob,
     TraceRef,
+    WorkerPool,
     cell_cache_key,
     config_fingerprint,
     default_workers,
     run_cells,
     trace_fingerprint,
 )
+from repro.sim.shm import SharedTraceArena
 from repro.sim.simulator import simulate
 from repro.trace.compress import compress_references
 
 from tests.conftest import FixedLatencyModel
+
+_PARENT_PID = os.getpid()
+_REAL_EXECUTE = parallel._execute
+
+
+def _explode_in_worker(trace, config):
+    """Worker stand-in for ``_execute``: fails in any forked child."""
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("injected worker failure")
+    return _REAL_EXECUTE(trace, config)
 
 
 @pytest.fixture(scope="module")
@@ -254,3 +271,207 @@ class TestEnvKnobs:
         assert options.cache.root == tmp_path
         monkeypatch.delenv("REPRO_CACHE_DIR")
         assert ExecutionOptions.from_env().cache is None
+
+
+def matrix_jobs(trace):
+    """A scheme x subpage grid plus the fullpage baseline."""
+    jobs = [
+        SweepJob(
+            key="full_8192",
+            trace=trace,
+            config=SimulationConfig(
+                memory_pages=8, scheme="fullpage", subpage_bytes=8192,
+                event_ns=1000.0, use_trace_dilation=False,
+            ),
+        )
+    ]
+    for scheme in ("eager", "lazy", "pipelined"):
+        for size in (2048, 1024, 512):
+            jobs.append(SweepJob(
+                key=f"{scheme}_{size}",
+                trace=trace,
+                config=SimulationConfig(
+                    memory_pages=8, scheme=scheme, subpage_bytes=size,
+                    event_ns=1000.0, use_trace_dilation=False,
+                ),
+            ))
+    return jobs
+
+
+def assert_results_identical(actual, expected):
+    assert list(actual) == list(expected)
+    for key in expected:
+        assert actual[key].total_ms == expected[key].total_ms
+        assert actual[key].summary() == expected[key].summary()
+        assert actual[key].stall_intervals == expected[key].stall_intervals
+
+
+class TestShippingPaths:
+    """Inline, per-cell pickle, and shared-arena runs are bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def expected(self, trace):
+        return run_cells(matrix_jobs(trace), workers=1)
+
+    def test_shared_arena_matches_inline(self, trace, expected):
+        with WorkerPool(4) as pool:
+            out = run_cells(matrix_jobs(trace), pool=pool)
+            assert pool.arena.published_count == 1
+        assert_results_identical(out, expected)
+
+    def test_per_cell_pickle_matches_inline(self, trace, expected,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        with WorkerPool(4) as pool:
+            assert pool.arena.mode == "off"
+            out = run_cells(matrix_jobs(trace), pool=pool)
+            assert pool.arena.published_count == 0
+        assert_results_identical(out, expected)
+
+    def test_spill_arena_matches_inline(self, trace, expected, tmp_path):
+        arena = SharedTraceArena(mode="spill", spill_dir=tmp_path)
+        with WorkerPool(4, arena=arena) as pool:
+            out = run_cells(matrix_jobs(trace), pool=pool)
+            assert pool.arena.published_count == 1
+        assert_results_identical(out, expected)
+
+    def test_handle_jobs_match_trace_jobs(self, trace, expected):
+        with SharedTraceArena() as arena:
+            handle = arena.publish(trace)
+            jobs = [
+                SweepJob(key=job.key, trace=handle, config=job.config)
+                for job in matrix_jobs(trace)
+            ]
+            out = run_cells(jobs, workers=1)
+            assert_results_identical(out, expected)
+
+    def test_handle_cache_key_matches_trace(self, trace):
+        config = matrix_jobs(trace)[0].config
+        with SharedTraceArena() as arena:
+            handle = arena.publish(trace)
+            assert trace_fingerprint(handle) == trace_fingerprint(trace)
+            assert cell_cache_key(handle, config) == cell_cache_key(
+                trace, config
+            )
+
+
+class TestWorkerPool:
+    def test_reuse_across_batches_publishes_once(self, trace):
+        expected = run_cells(make_jobs(trace), workers=1)
+        with WorkerPool(2) as pool:
+            first = run_cells(make_jobs(trace), pool=pool)
+            second = run_cells(make_jobs(trace), pool=pool)
+            assert pool.arena.published_count == 1
+        assert_results_identical(first, expected)
+        assert_results_identical(second, expected)
+
+    def test_run_cells_takes_workers_from_pool(self, trace):
+        with WorkerPool(3) as pool:
+            out = run_cells(make_jobs(trace), pool=pool)
+        assert list(out) == [j.key for j in make_jobs(trace)]
+
+    def test_broken_executor_is_replaced(self):
+        with WorkerPool(2) as pool:
+            first = pool.executor()
+            first._broken = "poisoned by a crashed worker"
+            second = pool.executor()
+            assert second is not first
+        with pytest.raises(ConfigError):
+            pool.executor()
+
+    def test_closed_pool_falls_back_to_transient(self, trace):
+        pool = WorkerPool(2)
+        pool.close()
+        expected = run_cells(make_jobs(trace), workers=1)
+        out = run_cells(make_jobs(trace), workers=2, pool=pool)
+        assert_results_identical(out, expected)
+
+
+class TestInvariants:
+    """Ordering, exactly-one-event, and metrics-merge guarantees."""
+
+    def test_results_in_job_order_despite_completion_order(self, trace):
+        # Cells of very different cost complete out of submission
+        # order; the returned dict must still follow the job list.
+        jobs = matrix_jobs(trace)
+        out = run_cells(jobs, workers=4)
+        assert list(out) == [j.key for j in jobs]
+        out_rev = run_cells(list(reversed(jobs)), workers=4)
+        assert list(out_rev) == [j.key for j in reversed(jobs)]
+
+    def test_exactly_one_event_per_cell_mixed_batch(self, trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        pooled = make_jobs(trace, sizes=(2048, 1024, 512))
+        run_cells(pooled[:1], workers=1, cache=cache)  # precache one
+
+        class LocalLatency(FixedLatencyModel):
+            """Function-scoped class: instances cannot pickle."""
+
+        unpicklable = SweepJob(
+            key="local",
+            trace=trace,
+            config=SimulationConfig(
+                memory_pages=8, latency_model=LocalLatency(),
+                event_ns=1000.0, use_trace_dilation=False,
+            ),
+        )
+        jobs = [pooled[0], unpicklable, *pooled[1:]]
+        events: list[CellEvent] = []
+        out = run_cells(jobs, workers=2, cache=cache,
+                        progress=events.append)
+        assert list(out) == [j.key for j in jobs]
+        statuses = {e.key: e.status for e in events}
+        assert len(events) == len(jobs)
+        assert sorted(statuses) == sorted(j.key for j in jobs)
+        assert statuses[pooled[0].key] == "cached"
+        assert statuses["local"] == "fallback"
+        assert all(
+            statuses[j.key] == "done" for j in pooled[1:]
+        )
+
+    def test_metrics_merge_includes_cache_hits(self, trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [
+            SweepJob(
+                key=f"sp_{size}",
+                trace=trace,
+                config=SimulationConfig(
+                    memory_pages=8, subpage_bytes=size,
+                    event_ns=1000.0, use_trace_dilation=False,
+                    observe="metrics",
+                ),
+            )
+            for size in (1024, 512)
+        ]
+        first = MetricsRegistry()
+        run_cells(jobs, workers=1, cache=cache, metrics=first)
+        assert first.counters
+        second = MetricsRegistry()
+        events: list[CellEvent] = []
+        run_cells(jobs, workers=1, cache=cache, metrics=second,
+                  progress=events.append)
+        assert all(e.status == "cached" for e in events)
+        assert second.counters == first.counters
+
+
+class TestWorkerFailure:
+    def test_worker_failures_retry_inline(self, trace, monkeypatch):
+        monkeypatch.setattr(parallel, "_execute", _explode_in_worker)
+        expected = run_cells(make_jobs(trace), workers=1)
+        events: list[CellEvent] = []
+        out = run_cells(make_jobs(trace), workers=2,
+                        progress=events.append)
+        assert_results_identical(out, expected)
+        statuses = {e.status for e in events}
+        assert statuses == {"retried"}
+        assert len(events) == len(make_jobs(trace))
+
+    def test_retried_cells_still_write_cache(self, trace, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setattr(parallel, "_execute", _explode_in_worker)
+        cache = ResultCache(tmp_path)
+        run_cells(make_jobs(trace), workers=2, cache=cache)
+        events: list[CellEvent] = []
+        run_cells(make_jobs(trace), workers=2, cache=cache,
+                  progress=events.append)
+        assert all(e.status == "cached" for e in events)
