@@ -13,7 +13,7 @@ from abc import ABC, abstractmethod
 
 from repro.errors import ConfigError, SchemeError, UnknownSchemeError
 from repro.core.plans import FaultContext, TransferPlan
-from repro.core.sequencers import Sequencer, make_sequencer
+from repro.core.sequencers import Sequencer, check_follow_on, make_sequencer
 
 
 class FetchScheme(ABC):
@@ -21,6 +21,12 @@ class FetchScheme(ABC):
 
     #: Registry name; subclasses override.
     name: str = "base"
+
+    #: Optional per-run adaptive controller
+    #: (:class:`repro.policy.adaptive.AdaptivePolicy`).  ``None`` for
+    #: static schemes; the simulator feeds fault-path access
+    #: observations and resets it between runs when present.
+    controller = None
 
     @abstractmethod
     def plan_fault(self, ctx: FaultContext) -> TransferPlan:
@@ -164,27 +170,49 @@ class SubpagePipelining(FetchScheme):
         self.double_initial = double_initial
 
     def plan_fault(self, ctx: FaultContext) -> TransferPlan:
+        spp = ctx.subpages_per_page
+        if ctx.subpage_bytes >= ctx.page_bytes or spp == 1:
+            return FullPageFetch().plan_fault(ctx)
+        order = self.sequencer.order(ctx.faulted_subpage, spp)
+        return self.plan_with_order(ctx, order)
+
+    def plan_with_order(
+        self,
+        ctx: FaultContext,
+        order: list[int],
+        pipeline_count: int | None = None,
+        direction: int = 0,
+    ) -> TransferPlan:
+        """Plan a fault with an externally supplied follow-on order.
+
+        The adaptive policy layer's entry point: ``order`` is the
+        predicted access order for the page's other subpages (validated
+        against the sequencer contract — see
+        :func:`repro.core.sequencers.check_follow_on`), ``pipeline_count``
+        overrides the configured depth for this one fault, and a nonzero
+        ``direction`` steers the doubled initial fetch's neighbor choice
+        (Section 4.3) instead of the faulted-block-offset heuristic.
+        Arithmetic is identical to :meth:`plan_fault`, which routes
+        through here with the sequencer's order and the configured depth.
+        """
         s = ctx.subpage_bytes
         spp = ctx.subpages_per_page
         if s >= ctx.page_bytes or spp == 1:
             return FullPageFetch().plan_fault(ctx)
+        if pipeline_count is None:
+            pipeline_count = self.pipeline_count
+        check_follow_on(ctx.faulted_subpage, order, spp)
 
-        initial = [ctx.faulted_subpage]
-        if self.double_initial and spp >= 2:
-            initial.append(self._initial_partner(ctx))
+        initial = self.initial_subpages(ctx, direction)
         initial_bytes = s * len(initial)
         resume = ctx.now_ms + ctx.latency.subpage_latency_ms(initial_bytes)
         arrivals = {index: resume for index in initial}
 
-        order = [
-            index
-            for index in self.sequencer.order(ctx.faulted_subpage, spp)
-            if index not in arrivals
-        ]
+        order = [index for index in order if index not in arrivals]
         wire_step = ctx.latency.wire_time_ms(s * self.segment_subpages)
         messages = 0
         t = resume
-        while messages < self.pipeline_count and order:
+        while messages < pipeline_count and order:
             group, order = (
                 order[: self.segment_subpages],
                 order[self.segment_subpages :],
@@ -217,12 +245,25 @@ class SubpagePipelining(FetchScheme):
             cpu_overhead_ms=messages * self.interrupt_ms,
         )
 
-    def _initial_partner(self, ctx: FaultContext) -> int:
+    def initial_subpages(
+        self, ctx: FaultContext, direction: int = 0
+    ) -> list[int]:
+        """Subpages shipped with the initial (demand) fetch."""
+        initial = [ctx.faulted_subpage]
+        if self.double_initial and ctx.subpages_per_page >= 2:
+            initial.append(self._initial_partner(ctx, direction))
+        return initial
+
+    def _initial_partner(self, ctx: FaultContext, direction: int = 0) -> int:
         """Neighbor to ride along with the initial fetch (direction by
-        where in the subpage the faulted block lies)."""
-        blocks_per_subpage = max(1, ctx.subpage_bytes // 256)
-        offset = ctx.faulted_block % blocks_per_subpage
-        prefer_next = offset >= blocks_per_subpage / 2
+        where in the subpage the faulted block lies, unless a predictor
+        supplies a nonzero ``direction``)."""
+        if direction:
+            prefer_next = direction > 0
+        else:
+            blocks_per_subpage = max(1, ctx.subpage_bytes // 256)
+            offset = ctx.faulted_block % blocks_per_subpage
+            prefer_next = offset >= blocks_per_subpage / 2
         candidates = (
             (ctx.faulted_subpage + 1, ctx.faulted_subpage - 1)
             if prefer_next
@@ -244,8 +285,33 @@ _SCHEMES: dict[str, type[FetchScheme]] = {
     SubpagePipelining.name: SubpagePipelining,
 }
 
+_PLUGINS_LOADED = False
+
+
+def _ensure_plugin_schemes() -> None:
+    """Import the scheme modules that register themselves.
+
+    :mod:`repro.policy.adaptive` registers the ``"adaptive"``
+    meta-scheme; it imports this module for :class:`FetchScheme`, so the
+    import has to happen lazily here rather than at module top level.
+    """
+    global _PLUGINS_LOADED
+    if _PLUGINS_LOADED:
+        return
+    _PLUGINS_LOADED = True
+    import repro.policy.adaptive  # noqa: F401  (registers "adaptive")
+
+
+def register_scheme(cls: type[FetchScheme]) -> type[FetchScheme]:
+    """Register a :class:`FetchScheme` subclass under its ``name``."""
+    if not cls.name or cls.name == "base":
+        raise ConfigError(f"scheme class {cls.__name__} needs a name")
+    _SCHEMES[cls.name] = cls
+    return cls
+
 
 def scheme_names() -> tuple[str, ...]:
+    _ensure_plugin_schemes()
     return tuple(sorted(_SCHEMES))
 
 
@@ -261,6 +327,7 @@ def make_scheme(spec: str | FetchScheme, **kwargs) -> FetchScheme:
                 "cannot pass constructor arguments with a scheme instance"
             )
         return spec
+    _ensure_plugin_schemes()
     try:
         cls = _SCHEMES[spec]
     except KeyError:

@@ -13,7 +13,40 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-from repro.errors import ConfigError, UnknownSchemeError
+from repro.errors import ConfigError, SchemeError, UnknownSchemeError
+
+
+def check_follow_on(
+    faulted: int, order: list[int], subpages_per_page: int
+) -> None:
+    """Validate a follow-on transfer order against the sequencer contract.
+
+    A follow-on order (a :meth:`Sequencer.order` result or a predictor's
+    predicted access order) must cover subpages of the faulted page only,
+    must not repeat a subpage, and must never include the faulting
+    subpage itself — that one is already on the wire, and shipping it
+    again is a silent double transfer.  Raises :class:`SchemeError` on
+    any violation instead of letting the plan quietly mis-spend
+    pipeline slots and wire time.
+    """
+    seen: set[int] = set()
+    for index in order:
+        if index == faulted:
+            raise SchemeError(
+                f"follow-on order includes the faulting subpage "
+                f"{faulted} (double transfer)"
+            )
+        if not 0 <= index < subpages_per_page:
+            raise SchemeError(
+                f"follow-on order names subpage {index} outside "
+                f"[0, {subpages_per_page})"
+            )
+        if index in seen:
+            raise SchemeError(
+                f"follow-on order repeats subpage {index} "
+                f"(double transfer)"
+            )
+        seen.add(index)
 
 
 class Sequencer(ABC):

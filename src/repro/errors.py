@@ -26,6 +26,11 @@ class SchemeError(ReproError):
 class UnknownSchemeError(SchemeError, KeyError):
     """A scheme name was not found in the registry."""
 
+    def __str__(self) -> str:
+        # KeyError quotes its message (repr of the missing key); show the
+        # registry diagnostic plainly instead.
+        return str(self.args[0]) if self.args else ""
+
 
 class GmsError(ReproError):
     """A global-memory-system protocol violation."""

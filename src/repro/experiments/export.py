@@ -197,6 +197,31 @@ def _export_fig10(result) -> dict[str, str]:
     }
 
 
+def _export_figAX(result) -> dict[str, str]:
+    rows = [
+        (
+            r.app,
+            r.memory,
+            r.static_ms,
+            r.adaptive_ms,
+            r.improvement,
+            r.pred_hit_rate,
+            r.coverage,
+            r.wasted_prefetch_kb,
+            r.lazy_fallbacks,
+        )
+        for r in result.rows
+    ]
+    return {
+        "figAX_adaptive.csv": _csv(
+            ["app", "memory", "static_ms", "adaptive_ms", "improvement",
+             "pred_hit_rate", "coverage", "wasted_prefetch_kb",
+             "lazy_fallbacks"],
+            rows,
+        )
+    }
+
+
 def _export_scorecard(result) -> dict[str, str]:
     rows = [
         (
@@ -233,6 +258,7 @@ _EXPORTERS: dict[str, Callable[[Any], dict[str, str]]] = {
     "fig08": _export_fig08,
     "fig09": _export_fig09,
     "fig10": _export_fig10,
+    "figAX": _export_figAX,
 }
 
 

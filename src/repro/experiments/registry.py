@@ -20,6 +20,7 @@ from repro.experiments import (
     fig08_pipelining,
     fig09_allapps,
     fig10_gdb_atom,
+    figAX_adaptive,
     tab01_palcode,
     tab02_latencies,
 )
@@ -124,6 +125,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Temporal clustering for gdb and Atom",
             fig10_gdb_atom.run,
             fig10_gdb_atom.render,
+        ),
+        Experiment(
+            "figAX",
+            "Adaptive fetch policy vs static pipelining (extension)",
+            figAX_adaptive.run,
+            figAX_adaptive.render,
         ),
         Experiment(
             "scorecard",

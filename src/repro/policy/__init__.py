@@ -1,0 +1,44 @@
+"""Adaptive fetch-policy subsystem.
+
+Online access-pattern prediction driving fetch-scheme selection and
+pipeline sequencing: per-page access histories
+(:mod:`repro.policy.history`), pluggable predictors
+(:mod:`repro.policy.predictors`), and the ``"adaptive"`` meta-scheme
+plus its per-run controller (:mod:`repro.policy.adaptive`).  See
+``docs/POLICY.md`` for the design.
+"""
+
+from repro.policy.adaptive import AdaptivePolicy, AdaptiveScheme
+from repro.policy.history import (
+    DEFAULT_DEPTH,
+    KIND_FAULT,
+    KIND_HIT,
+    KIND_TOUCH,
+    AccessHistory,
+)
+from repro.policy.predictors import (
+    DirectionEwmaPredictor,
+    Prediction,
+    Predictor,
+    StaticNeighborPredictor,
+    StrideMajorityPredictor,
+    make_predictor,
+    predictor_names,
+)
+
+__all__ = [
+    "AccessHistory",
+    "AdaptivePolicy",
+    "AdaptiveScheme",
+    "DEFAULT_DEPTH",
+    "DirectionEwmaPredictor",
+    "KIND_FAULT",
+    "KIND_HIT",
+    "KIND_TOUCH",
+    "Prediction",
+    "Predictor",
+    "StaticNeighborPredictor",
+    "StrideMajorityPredictor",
+    "make_predictor",
+    "predictor_names",
+]

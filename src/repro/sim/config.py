@@ -13,7 +13,7 @@ from typing import Any
 
 from repro.core.schemes import FetchScheme, make_scheme
 from repro.disk.model import DiskModel
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnknownSchemeError
 from repro.net.latency import LatencyModel
 from repro.trace.compress import RunTrace
 from repro.units import (
@@ -167,7 +167,17 @@ class SimulationConfig:
             parse_observe_spec(self.observe)
 
     def build_scheme(self) -> FetchScheme:
-        return make_scheme(self.scheme, **self.scheme_kwargs)
+        try:
+            return make_scheme(self.scheme, **self.scheme_kwargs)
+        except UnknownSchemeError as exc:
+            raise UnknownSchemeError(
+                f"config field 'scheme': {exc}"
+            ) from None
+        except TypeError as exc:
+            raise ConfigError(
+                f"config field 'scheme_kwargs' does not fit scheme "
+                f"{self.scheme!r}: {exc}"
+            ) from exc
 
     def with_overrides(self, **kwargs: Any) -> "SimulationConfig":
         """A copy of this config with fields replaced."""

@@ -74,7 +74,11 @@ def drive_fast(
 
     Mutates ``state`` exactly as the reference loop would and returns
     the final clock.  The caller (``Simulator.run``) guarantees no
-    instrument, no PALcode emulation, and no distance tracking.
+    instrument, no PALcode emulation, no distance tracking, and no
+    adaptive policy on the ``"events"`` feed.  (Fault-feed adaptive
+    policies are fine: their observations fire inside ``_page_fault``
+    and ``_touch_incomplete``, which this engine calls at exactly the
+    reference loop's interesting events.)
     """
     policy = state.policy
     frames = state.frames

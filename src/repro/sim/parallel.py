@@ -71,8 +71,10 @@ ENV_TRACE_DIR = "REPRO_TRACE_DIR"
 #: observability payload fields.  v3: the ``engine`` config field joins
 #: the fingerprint (via ``dataclasses.fields``), GMS putpage keeps
 #: shared-copy directory entries intact, and queued background transfers
-#: shift their whole arrival schedule (zero-time edge).
-CACHE_VERSION = 3
+#: shift their whole arrival schedule (zero-time edge).  v4: results
+#: carry the adaptive-policy ``policy_stats`` field and the
+#: ``"adaptive"`` meta-scheme joins the registry (repro.policy).
+CACHE_VERSION = 4
 
 
 @dataclass(frozen=True, slots=True)

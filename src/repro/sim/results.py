@@ -95,6 +95,12 @@ class SimulationResult:
     tlb_stats: dict[str, float] = field(default_factory=dict)
     emulation_stats: dict[str, float] = field(default_factory=dict)
     cluster_stats: dict[str, float] = field(default_factory=dict)
+    #: Adaptive-policy scoreboard (``repro.policy``): prediction counts,
+    #: hit/miss/coverage rates, wasted-prefetch bytes.  Empty for static
+    #: schemes and for the adaptive scheme in transparent (static-
+    #: predictor) mode, so such results compare equal to the plain
+    #: pipelined scheme's.
+    policy_stats: dict[str, float] = field(default_factory=dict)
 
     # Observability payloads (``SimulationConfig.observe``): a serialized
     # metrics registry (``repro.obs.metrics.MetricsRegistry.as_dict``)
@@ -167,6 +173,7 @@ class SimulationResult:
             "cancelled_transfers": self.cancelled_transfers,
             "overlapped_faults": self.overlapped_faults,
             "link_stats": dict(self.link_stats),
+            "policy_stats": dict(self.policy_stats),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import islice
+from typing import TYPE_CHECKING
 
 from repro.core.fault import FaultKind, FaultRecord
 from repro.core.plans import FaultContext
@@ -34,6 +35,9 @@ from repro.sim.replacement import make_policy
 from repro.sim.results import SimulationResult
 from repro.sim.tlb import TlbModel
 from repro.trace.compress import RunTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.policy.adaptive import AdaptivePolicy
 
 #: Default node id of the active (trace-running) node in cluster mode.
 ACTIVE_NODE = 0
@@ -152,6 +156,12 @@ class Simulator:
                 else self._build_cluster(trace, ins)
             )
 
+        # Adaptive schemes carry a per-run controller; reset it and feed
+        # it fault-path observations for the whole run.
+        controller = self.scheme.controller
+        if controller is not None:
+            controller.begin_run(subpage_bytes=cfg.subpage_bytes)
+
         frames: dict[int, _Frame] = {}
         result = SimulationResult(
             trace_name=trace.name,
@@ -177,18 +187,23 @@ class Simulator:
             event_ms=event_ms,
             full_mask=full_mask,
             ins=ins,
+            adaptive=controller,
         )
 
         # Engine dispatch: the fast engine handles every configuration
         # except those demanding per-event hooks — an attached
         # instrument (including the observe= recorder), PALcode
         # emulation (charged per reference against in-flight pages),
-        # and subpage-distance tracking (inspects every hit).
+        # subpage-distance tracking (inspects every hit), and adaptive
+        # policies on the per-reference-run "events" feed.  The default
+        # "faults" feed observes only at faults and incomplete-page
+        # touches, which both engines visit identically.
         use_fast = (
             cfg.engine == "fast"
             and ins is None
             and pal is None
             and not cfg.track_distances
+            and (controller is None or not controller.needs_reference_events)
         )
         if use_fast:
             clock = drive_fast(self, state, trace, cols)
@@ -229,6 +244,10 @@ class Simulator:
         result = state.result
 
         track_dist = cfg.track_distances
+        feed_hits = (
+            state.adaptive is not None
+            and state.adaptive.needs_reference_events
+        )
 
         runs = zip(
             cols.pages, cols.subpages, cols.blocks, cols.counts,
@@ -270,6 +289,8 @@ class Simulator:
                     clock = self._touch_incomplete(
                         state, clock, page, frame, sp, block, write, count
                     )
+                elif feed_hits:
+                    state.adaptive.observe(page, sp, "hit")
                 if write and not frame.dirty:
                     frame.dirty = True
             clock += count * event_ms
@@ -292,6 +313,9 @@ class Simulator:
 
         if len(frames) >= cfg.memory_pages:
             self._evict(state, clock)
+
+        if state.adaptive is not None:
+            state.adaptive.observe(page, sp, "fault")
 
         service = cfg.backing
         if state.cluster is not None:
@@ -410,6 +434,8 @@ class Simulator:
     ) -> float:
         """Access path for a page that is resident but incomplete."""
         result = state.result
+        if state.adaptive is not None:
+            state.adaptive.observe(page, sp, "touch")
         if not frame.valid_bits >> sp & 1:
             pending = frame.pending
             arrival = (
@@ -685,6 +711,10 @@ class Simulator:
                 "messages": cstats.messages,
                 "global_hit_ratio": cstats.global_hit_ratio,
             }
+        if state.adaptive is not None:
+            stats = state.adaptive.finish()
+            if stats is not None:
+                result.policy_stats = stats
         # Close any still-open fault windows at the end of the run.
         for record in result.fault_records:
             if record.window_end_ms > clock:
@@ -692,6 +722,8 @@ class Simulator:
         if state.ins is not None:
             ins = state.ins
             ins.publish("link", result.link_stats)
+            if result.policy_stats:
+                ins.publish("policy", result.policy_stats)
             if result.tlb_stats:
                 ins.publish("tlb", result.tlb_stats)
             if result.emulation_stats:
@@ -716,6 +748,10 @@ class _RunState:
     event_ms: float
     full_mask: int
     ins: Instrument | None = None
+    #: The scheme's adaptive controller, if any; fed access
+    #: observations from the fault path (both engines) and — on the
+    #: ``"events"`` feed — per reference run (reference loop only).
+    adaptive: "AdaptivePolicy | None" = None
     #: The most recent eviction victim (set by ``_evict``); the fast
     #: engine reads it after a fault to re-enter the page in its
     #: interesting-event heap.

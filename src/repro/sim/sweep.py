@@ -88,10 +88,13 @@ def run_subpage_sweep(
     for row_label, fraction in memory_fractions.items():
         memory = memory_pages_for(trace, fraction)
         if include_baselines:
+            # Baselines replace the scheme, so the base's scheme_kwargs
+            # must not ride along (fullpage takes no arguments).
             disk_cfg = base.with_overrides(
                 memory_pages=memory,
                 backing="disk",
                 scheme="fullpage",
+                scheme_kwargs={},
                 subpage_bytes=base.page_bytes,
             )
             jobs.append(SweepJob(
@@ -103,6 +106,7 @@ def run_subpage_sweep(
                 memory_pages=memory,
                 backing="remote",
                 scheme="fullpage",
+                scheme_kwargs={},
                 subpage_bytes=base.page_bytes,
             )
             jobs.append(SweepJob(
@@ -185,6 +189,7 @@ def run_seed_study(
             base.with_overrides(
                 memory_pages=memory,
                 scheme="fullpage",
+                scheme_kwargs={},
                 subpage_bytes=base.page_bytes,
             ),
         )

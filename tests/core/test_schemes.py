@@ -170,7 +170,7 @@ class TestPipelined:
 class TestRegistry:
     def test_names(self):
         assert set(scheme_names()) == {
-            "fullpage", "lazy", "eager", "pipelined",
+            "fullpage", "lazy", "eager", "pipelined", "adaptive",
         }
 
     def test_make_by_name_with_kwargs(self):

@@ -8,9 +8,10 @@ from repro.core.sequencers import (
     AscendingSequencer,
     DistanceSequencer,
     NeighborSequencer,
+    check_follow_on,
     make_sequencer,
 )
-from repro.errors import ConfigError, UnknownSchemeError
+from repro.errors import ConfigError, SchemeError, UnknownSchemeError
 
 
 class TestNeighbor:
@@ -57,6 +58,46 @@ class TestDistance:
         profile = {1: 0.48, -1: 0.08, 2: 0.07, -2: 0.06}
         order = DistanceSequencer(profile).order(3, 8)
         assert order[0] == 4
+
+
+class TestFollowOnGuard:
+    """Regression: follow-on orders naming the faulting subpage used to
+    be accepted silently — the scheme then shipped it twice, spending a
+    pipeline slot and wire time on data already in flight."""
+
+    def test_accepts_valid_order(self):
+        check_follow_on(3, NeighborSequencer().order(3, 8), 8)
+
+    def test_rejects_faulting_subpage(self):
+        with pytest.raises(SchemeError, match="double transfer"):
+            check_follow_on(3, [4, 3, 2], 8)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SchemeError, match="outside"):
+            check_follow_on(3, [4, 8], 8)
+        with pytest.raises(SchemeError, match="outside"):
+            check_follow_on(3, [-1], 8)
+
+    def test_rejects_repeats(self):
+        with pytest.raises(SchemeError, match="repeats"):
+            check_follow_on(3, [4, 5, 4], 8)
+
+    def test_guard_wired_into_planning(self):
+        """A buggy sequencer cannot smuggle a double transfer through
+        ``SubpagePipelining`` (this failed before the guard: the plan
+        quietly carried the faulted subpage in a pipelined slot)."""
+        from repro.core.schemes import SubpagePipelining
+        from tests.core.test_schemes import ctx
+
+        class Buggy(NeighborSequencer):
+            def order(self, faulted, subpages_per_page):
+                return [faulted] + super().order(
+                    faulted, subpages_per_page
+                )[:-1]
+
+        scheme = SubpagePipelining(sequencer=Buggy())
+        with pytest.raises(SchemeError, match="double transfer"):
+            scheme.plan_fault(ctx(subpage=2))
 
 
 class TestRegistry:

@@ -63,6 +63,17 @@ SCHEME_CELLS = [
     ("pipelined", 2048),
 ]
 
+#: Adaptive-policy cells: the fault-feed observation sites
+#: (``_page_fault`` / ``_touch_incomplete``) are shared by both engines,
+#: so even a live (non-transparent) predictor must stay bit-identical.
+ADAPTIVE_CELLS = [
+    ({"predictor": "static"}, 1024),
+    ({"predictor": "stride", "max_depth": 6}, 512),
+    ({"predictor": "stride", "max_depth": 6}, 2048),
+    ({"predictor": "stride", "switch_schemes": True}, 1024),
+    ({"predictor": "direction", "double_initial": True}, 1024),
+]
+
 
 class TestMatrixEquivalence:
     @pytest.mark.parametrize("scheme,subpage", SCHEME_CELLS)
@@ -75,6 +86,18 @@ class TestMatrixEquivalence:
             scheme=scheme,
             subpage_bytes=subpage,
             backing=backing,
+        )
+        assert ref == fast
+
+    @pytest.mark.parametrize("kwargs,subpage", ADAPTIVE_CELLS)
+    @pytest.mark.parametrize("fraction", [0.5, 0.25])
+    def test_adaptive_cell(self, mixed_trace, kwargs, subpage, fraction):
+        ref, fast = both_engines(
+            mixed_trace,
+            memory_pages=memory_pages_for(mixed_trace, fraction),
+            scheme="adaptive",
+            scheme_kwargs=dict(kwargs),
+            subpage_bytes=subpage,
         )
         assert ref == fast
 
@@ -203,6 +226,36 @@ class TestFallback:
             memory_pages=32, engine="fast", track_distances=False
         )
         Simulator(cfg, instrument=Instrument()).run(mixed_trace)
+
+    def test_adaptive_events_feed_falls_back(
+        self, mixed_trace, monkeypatch
+    ):
+        """The ``"events"`` feed demands per-reference-run hits, which
+        only the reference loop visits."""
+        self._poison(monkeypatch)
+        cfg = SimulationConfig(
+            memory_pages=32,
+            engine="fast",
+            scheme="adaptive",
+            scheme_kwargs={"predictor": "stride", "feed": "events"},
+            track_distances=False,
+        )
+        simulate(mixed_trace, cfg)
+
+    def test_adaptive_fault_feed_uses_fast_engine(
+        self, mixed_trace, monkeypatch
+    ):
+        """The default ``"faults"`` feed must NOT force the fallback."""
+        self._poison(monkeypatch)
+        cfg = SimulationConfig(
+            memory_pages=32,
+            engine="fast",
+            scheme="adaptive",
+            scheme_kwargs={"predictor": "stride"},
+            track_distances=False,
+        )
+        with pytest.raises(AssertionError, match="fast engine used"):
+            simulate(mixed_trace, cfg)
 
     def test_fast_path_taken_when_unobstructed(
         self, mixed_trace, monkeypatch

@@ -11,7 +11,8 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig03" in out
         assert "tab01" in out
-        assert len(out.strip().splitlines()) == 13
+        assert "figAX" in out
+        assert len(out.strip().splitlines()) == 14
 
     def test_run_one(self, capsys):
         assert main(["tab01"]) == 0

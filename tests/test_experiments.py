@@ -307,13 +307,13 @@ class TestFig10:
 
 class TestRegistry:
     def test_all_experiments_present(self):
-        assert len(EXPERIMENTS) == 13
+        assert len(EXPERIMENTS) == 14
 
     def test_ids(self):
         assert set(EXPERIMENTS) == {
             "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
-            "fig07", "fig08", "fig09", "fig10", "tab01", "tab02",
-            "scorecard",
+            "fig07", "fig08", "fig09", "fig10", "figAX", "tab01",
+            "tab02", "scorecard",
         }
 
     def test_get_unknown(self):
