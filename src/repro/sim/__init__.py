@@ -9,6 +9,7 @@ page-wait time components, per-fault records, overlap attribution inputs,
 and the next-subpage distance histogram.
 """
 
+from repro.sim.batch import TraceScan, batch_eligible, simulate_cells
 from repro.sim.config import SimulationConfig, memory_pages_for
 from repro.sim.parallel import (
     CellEvent,
@@ -67,7 +68,9 @@ __all__ = [
     "TlbStats",
     "TraceHandle",
     "TraceRef",
+    "TraceScan",
     "WorkerPool",
+    "batch_eligible",
     "make_policy",
     "memory_pages_for",
     "run_cells",
@@ -76,4 +79,5 @@ __all__ = [
     "run_seed_study",
     "run_subpage_sweep",
     "simulate",
+    "simulate_cells",
 ]

@@ -1,0 +1,376 @@
+"""Cross-cell batched simulation: many cells, one shared trace scan.
+
+The paper's headline evidence is grid-shaped — Figure 9 runs every
+application across the full (scheme x subpage size x memory size)
+matrix — and every cell of such a grid walks the *same* trace.  The
+fast engine (:mod:`repro.sim.engine`) already amortizes the per-trace
+column and occurrence caches across cells, but it still pays the
+expensive part of every bulk span — deduplicating page switches with
+``np.unique``/``argsort`` and rediscovering write sets — once per cell
+per span.  Those structures do not depend on the cell at all: which run
+switches to which page, and where that page switches next, is a
+property of the trace alone.
+
+This module hoists that work into a :class:`TraceScan`, computed once
+per trace and shared by every cell of a batch:
+
+* ``switch_pos``/``switch_page``/``switch_next`` — the position and
+  page of every page switch, plus the position of the *next* switch to
+  the same page.  Any cell's span ``[i, j)`` recovers its
+  replacement-policy touch sequence (each switched page's **last**
+  switch, in ascending order — exactly the fast engine's dedup order)
+  with two ``searchsorted`` probes and one vectorized compare
+  ``switch_next >= j``, instead of a per-span sort.
+* ``write_pos``/``write_page``/``write_prev`` — the same structure for
+  write runs: ``write_prev < i`` selects each page's first write inside
+  the span, i.e. the unique pages to dirty-mark.
+* a per-``event_ms`` cache of the ``count * event_ms`` products the
+  clock accumulates over (cells of a grid share one event cost).
+
+:func:`simulate_cells` then drives N configurations over one trace:
+each cell's substrate is built by the standard
+:meth:`~repro.sim.simulator.Simulator._prepare` (same objects, same
+reset order as a standalone run), the spans between a cell's
+interesting events advance through the shared scan, and only the event
+slices a cell finds interesting — faults, stalls, folds — take the
+scalar reference path.  Per-cell residency stays in the simulator's
+frame table with its valid-subpage bitmasks, so the scalar path is
+*identical* code to the reference loop's.
+
+Bit-exactness: the clock chain is the same left-to-right float64
+``np.add.accumulate`` the fast engine uses, the touch order is the same
+ascending last-switch order, and dirty marking is an idempotent flag —
+``tests/sim/test_engine_equivalence.py`` asserts equal
+:class:`~repro.sim.results.SimulationResult` objects against both the
+fast and reference engines across the full integration matrix.
+
+Eligibility (:func:`batch_eligible`) is stricter than the fast
+engine's: no observability, no PALcode, no distance tracking, no TLB
+(its miss walks interleave with the clock inside spans), no adaptive
+meta-scheme, and no live model instances (those cells are not
+content-addressable and keep their per-cell dispatch).  Ineligible
+configurations silently take the ordinary :func:`~repro.sim.simulator.
+simulate` path, so :func:`simulate_cells` is a safe drop-in for any
+mix of cells.
+"""
+
+from __future__ import annotations
+
+import time
+from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import BAIL_MIN_SPAN, BAIL_WINDOW, SHORT_SPAN
+from repro.sim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.results import SimulationResult
+    from repro.sim.simulator import _RunState
+    from repro.trace.compress import RunTrace, TraceColumns
+
+#: Key under which a trace's :class:`TraceScan` rides in
+#: ``RunTrace._cols``, next to the column and occurrence caches (and,
+#: like them, dropped on pickling and rebuilt lazily per process).
+_SCAN_KEY = "batch_scan"
+
+
+class TraceScan:
+    """Cell-independent switch/write structure of one trace.
+
+    Built from any :class:`~repro.trace.compress.TraceColumns` of the
+    trace — the page and write columns are subpage-size-independent —
+    and shared by every cell of a batch, whatever its subpage size,
+    memory size, scheme, or backing.
+    """
+
+    __slots__ = (
+        "switch_pos",
+        "switch_page",
+        "switch_next",
+        "write_pos",
+        "write_page",
+        "write_prev",
+        "_prods",
+    )
+
+    def __init__(self, cols: "TraceColumns") -> None:
+        n = len(cols.pages)
+        pages_arr = cols.pages_arr
+        self.switch_pos = np.flatnonzero(cols.switch_arr)
+        self.switch_page = pages_arr[self.switch_pos]
+        # switch_next[s]: run index of the next switch to the same page
+        # strictly after switch s; n when there is none.  One stable
+        # argsort groups switches by page while keeping each group in
+        # ascending position order, so "next of same page" is just the
+        # following entry of the group.
+        self.switch_next = np.full(len(self.switch_pos), n, dtype=np.int64)
+        order = np.argsort(self.switch_page, kind="stable")
+        pos_sorted = self.switch_pos[order]
+        page_sorted = self.switch_page[order]
+        same = page_sorted[1:] == page_sorted[:-1]
+        self.switch_next[order[:-1][same]] = pos_sorted[1:][same]
+
+        self.write_pos = np.flatnonzero(cols.writes_arr)
+        self.write_page = pages_arr[self.write_pos]
+        # write_prev[w]: run index of the previous write run to the same
+        # page; -1 when there is none.
+        self.write_prev = np.full(len(self.write_pos), -1, dtype=np.int64)
+        order = np.argsort(self.write_page, kind="stable")
+        pos_sorted = self.write_pos[order]
+        page_sorted = self.write_page[order]
+        same = page_sorted[1:] == page_sorted[:-1]
+        self.write_prev[order[1:][same]] = pos_sorted[:-1][same]
+
+        #: event_ms -> counts * event_ms, shared by the cells' clocks.
+        self._prods: dict[float, np.ndarray] = {}
+
+    def prods(self, cols: "TraceColumns", event_ms: float) -> np.ndarray:
+        """The per-run clock products at ``event_ms``, computed once.
+
+        Bitwise-identical to the reference loop's scalar
+        ``count * event_ms`` (one IEEE multiply per run, same operands).
+        """
+        arr = self._prods.get(event_ms)
+        if arr is None:
+            arr = self._prods[event_ms] = cols.counts_f64 * event_ms
+        return arr
+
+
+def trace_scan(trace: "RunTrace", cols: "TraceColumns") -> TraceScan:
+    """The trace's cached :class:`TraceScan` (built on first use)."""
+    scan = trace._cols.get(_SCAN_KEY)
+    if scan is None:
+        scan = trace._cols[_SCAN_KEY] = TraceScan(cols)
+    return scan
+
+
+def batch_eligible(config: SimulationConfig) -> bool:
+    """Whether a configuration may run under the batched engine.
+
+    Everything the fast engine excludes (observability, PALcode,
+    distance tracking, event-feed adaptive policies) plus the TLB —
+    its miss walks interleave with the clock inside spans, defeating
+    bulk advancement — the adaptive meta-scheme altogether (its
+    controller state is deliberately kept on the per-cell dispatch
+    path), and live model instances (not content-addressable, so the
+    executor cannot group them by content anyway).
+    """
+    return (
+        config.engine == "fast"
+        and not config.observe
+        and config.protection != "palcode"
+        and not config.track_distances
+        and config.tlb_entries == 0
+        and isinstance(config.scheme, str)
+        and config.scheme != "adaptive"
+        and config.latency_model is None
+        and config.disk_model is None
+    )
+
+
+def drive_batch(
+    sim: Simulator,
+    state: "_RunState",
+    trace: "RunTrace",
+    cols: "TraceColumns",
+    scan: TraceScan,
+) -> float:
+    """Drive one cell over the shared scan; returns the final clock.
+
+    The structure mirrors :func:`repro.sim.engine.drive_fast` — the
+    same interesting-event heap, the same scalar event handling, the
+    same thrash bail-out to the reference loop — but every bulk span
+    recovers its touch and dirty sets from the shared
+    :class:`TraceScan` instead of sorting its own slice.  The caller
+    (:func:`simulate_cells`) guarantees :func:`batch_eligible`, so
+    there is no TLB, instrument, PALcode, or adaptive controller.
+    """
+    policy = state.policy
+    frames = state.frames
+    event_ms = state.event_ms
+    full_mask = state.full_mask
+
+    pages_l = cols.pages
+    subpages_l = cols.subpages
+    blocks_l = cols.blocks
+    counts_l = cols.counts
+    writes_l = cols.writes
+    switch_pos = scan.switch_pos
+    switch_page = scan.switch_page
+    switch_next = scan.switch_next
+    write_pos = scan.write_pos
+    write_page = scan.write_page
+    write_prev = scan.write_prev
+    prods = scan.prods(cols, event_ms)
+    searchsorted = np.searchsorted
+    n = len(pages_l)
+
+    occ = trace.occurrences()
+    optr = dict.fromkeys(occ, 0)
+
+    heap = [(indices[0], page) for page, indices in occ.items()]
+    heapify(heap)
+    in_heap = set(occ)
+
+    clock = 0.0
+    last_page = -1
+    pos = 0
+    win_events = 0
+    win_start = 0
+
+    def push(page: int, frm: int) -> None:
+        """Schedule ``page``'s next occurrence at/after ``frm``."""
+        if page in in_heap:
+            return
+        indices = occ[page]
+        i = optr[page]
+        end = len(indices)
+        while i < end and indices[i] < frm:
+            i += 1
+        optr[page] = i
+        if i < end:
+            heappush(heap, (indices[i], page))
+            in_heap.add(page)
+
+    def advance(i: int, j: int) -> None:
+        """Bulk-process the boring span ``[i, j)`` (hits only)."""
+        nonlocal clock, last_page
+        if i >= j:
+            return
+        if j - i < SHORT_SPAN:
+            for k in range(i, j):
+                p = pages_l[k]
+                if p != last_page:
+                    policy.touch(p)
+                    last_page = p
+                if writes_l[k]:
+                    f = frames[p]
+                    if not f.dirty:
+                        f.dirty = True
+                clock += counts_l[k] * event_ms
+            return
+        lo = searchsorted(switch_pos, i)
+        hi = searchsorted(switch_pos, j)
+        if hi > lo:
+            if hi - lo == 1:
+                p = pages_l[j - 1]
+                policy.touch(p)
+                last_page = p
+            else:
+                # Each switched page's last switch inside the span, in
+                # ascending position order — the same dedup sequence
+                # drive_fast extracts with np.unique/argsort per span.
+                keep = switch_next[lo:hi] >= j
+                for p in switch_page[lo:hi][keep].tolist():
+                    policy.touch(p)
+                last_page = pages_l[j - 1]
+        wlo = searchsorted(write_pos, i)
+        whi = searchsorted(write_pos, j)
+        if whi > wlo:
+            # Each page's first write inside the span = the span's
+            # unique written pages (dirty marking is idempotent).
+            keep = write_prev[wlo:whi] < i
+            for p in write_page[wlo:whi][keep].tolist():
+                f = frames[p]
+                if not f.dirty:
+                    f.dirty = True
+        seg = prods[i:j].copy()
+        seg[0] += clock
+        np.add.accumulate(seg, out=seg)
+        clock = float(seg[-1])
+
+    while heap:
+        idx, page = heappop(heap)
+        in_heap.discard(page)
+        frame = frames.get(page)
+        interesting = (
+            frame is None
+            or frame.pending is not None
+            or frame.valid_bits != full_mask
+        )
+        if idx < pos:
+            if interesting:
+                push(page, pos)
+            continue
+        if not interesting:
+            continue
+
+        if pos < idx:
+            advance(pos, idx)
+
+        sp = subpages_l[idx]
+        count = counts_l[idx]
+        write = writes_l[idx]
+        if frame is None:
+            state.last_victim = None
+            clock = sim._page_fault(
+                state, clock, page, sp, blocks_l[idx], write
+            )
+            frame = frames[page]
+            last_page = page
+            if state.last_victim is not None:
+                push(state.last_victim, idx)
+        else:
+            if page != last_page:
+                policy.touch(page)
+                last_page = page
+            if frame.pending is not None or frame.valid_bits != full_mask:
+                clock = sim._touch_incomplete(
+                    state, clock, page, frame, sp, blocks_l[idx],
+                    write, count,
+                )
+            if write and not frame.dirty:
+                frame.dirty = True
+        clock += count * event_ms
+        pos = idx + 1
+        if frame.pending is not None or frame.valid_bits != full_mask:
+            push(page, pos)
+
+        win_events += 1
+        if win_events == BAIL_WINDOW:
+            if pos - win_start < BAIL_WINDOW * BAIL_MIN_SPAN:
+                return sim._drive_reference(
+                    state, cols, start=pos, clock=clock,
+                    last_page=last_page,
+                )
+            win_events = 0
+            win_start = pos
+
+    advance(pos, n)
+    return clock
+
+
+def simulate_cells_timed(
+    trace: "RunTrace", configs: list[SimulationConfig]
+) -> list[tuple["SimulationResult", float]]:
+    """:func:`simulate_cells` plus each cell's own compute seconds."""
+    out: list[tuple["SimulationResult", float]] = []
+    scan: TraceScan | None = None
+    for config in configs:
+        started = time.perf_counter()
+        sim = Simulator(config)
+        if batch_eligible(config):
+            state, cols, recorder = sim._prepare(trace)
+            if scan is None:
+                scan = trace_scan(trace, cols)
+            clock = drive_batch(sim, state, trace, cols, scan)
+            result = sim._finish(state, clock, recorder)
+        else:
+            result = sim.run(trace)
+        out.append((result, time.perf_counter() - started))
+    return out
+
+
+def simulate_cells(
+    trace: "RunTrace", configs: list[SimulationConfig]
+) -> list["SimulationResult"]:
+    """Simulate many configurations over one trace, batched.
+
+    Results are positionally parallel to ``configs`` and bit-identical
+    to ``[simulate(trace, c) for c in configs]``; cells failing
+    :func:`batch_eligible` transparently take that ordinary path.
+    """
+    return [result for result, _ in simulate_cells_timed(trace, configs)]

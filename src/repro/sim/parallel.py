@@ -28,6 +28,11 @@ on:
   timing; ``python -m repro.experiments --progress`` surfaces them.
   Pooled cells are collected ``as_completed``, so events and cache
   write-through happen as cells finish, not in submission order.
+* ``run_cells(batch=True)`` groups eligible cells by trace fingerprint
+  and hands each group to the cross-cell batched engine
+  (:mod:`repro.sim.batch`), which simulates all of a trace's cells
+  over one shared scan — per worker, one batch unit per shared-memory
+  trace.
 
 Environment knobs: ``REPRO_WORKERS`` sets the default worker count,
 ``REPRO_CACHE_DIR`` enables (and locates) the default result cache, and
@@ -73,8 +78,11 @@ ENV_TRACE_DIR = "REPRO_TRACE_DIR"
 #: shared-copy directory entries intact, and queued background transfers
 #: shift their whole arrival schedule (zero-time edge).  v4: results
 #: carry the adaptive-policy ``policy_stats`` field and the
-#: ``"adaptive"`` meta-scheme joins the registry (repro.policy).
-CACHE_VERSION = 4
+#: ``"adaptive"`` meta-scheme joins the registry (repro.policy).  v5:
+#: config fingerprints switch from per-field ``repr()`` to the
+#: canonical recursive encoding (see :func:`config_fingerprint`), so
+#: every pre-v5 key is unreachable by construction.
+CACHE_VERSION = 5
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,9 +126,16 @@ class CellEvent:
 
     ``status`` is ``"done"`` (computed), ``"cached"`` (served from the
     result cache), ``"fallback"`` (computed inline because the payload
-    could not be pickled to a worker), or ``"retried"`` (computed inline
-    after a worker or the pool itself failed mid-batch).  ``elapsed_s``
-    is the cell's own compute time (zero for cache hits).
+    could not be pickled to a worker), ``"retried"`` (computed inline
+    after a worker or the pool itself failed mid-batch), or
+    ``"batched"`` (computed by the cross-cell batched engine — see
+    :func:`run_cells`'s ``batch`` flag).  ``elapsed_s`` is the cell's
+    own compute time (zero for cache hits).
+
+    One extra event kind rides the same stream: ``"cache-error"``,
+    emitted *in addition to* the cell's completion event when its
+    result could not be written through to the cache (see
+    :attr:`ResultCache.puts_failed`).
     """
 
     key: Any
@@ -171,12 +186,59 @@ def trace_fingerprint(trace: RunTrace | TraceRef | TraceHandle) -> str:
     return trace.fingerprint()
 
 
+def _canonical(value: Any) -> str | None:
+    """Canonical type-tagged encoding of one config field value.
+
+    ``repr()`` is not a cache key: dicts encode in insertion order,
+    ``1`` and ``1.0`` (or ``True``) collide, and float reprs can drift
+    across platforms.  This encoding sorts every mapping and set,
+    tags each scalar with its type, and spells floats as exact hex —
+    equal values always encode equally, unequal types never collide.
+    Returns ``None`` for any type it does not know (live model
+    instances, ad-hoc objects): the cell is then not
+    content-addressable and must not be cached.
+    """
+    if value is None or value is True or value is False:
+        return repr(value)
+    if isinstance(value, str):
+        return f"s:{value!r}"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"f:{value.hex()}"
+    if isinstance(value, bytes):
+        return f"b:{value!r}"
+    if isinstance(value, dict):
+        items = []
+        for key, val in value.items():
+            ekey, eval_ = _canonical(key), _canonical(val)
+            if ekey is None or eval_ is None:
+                return None
+            items.append(f"{ekey}={eval_}")
+        return "d{" + ",".join(sorted(items)) + "}"
+    if isinstance(value, (list, tuple)):
+        parts = [_canonical(item) for item in value]
+        if any(part is None for part in parts):
+            return None
+        open_, close = ("l[", "]") if isinstance(value, list) else ("t(", ")")
+        return open_ + ",".join(parts) + close
+    if isinstance(value, (set, frozenset)):
+        parts = [_canonical(item) for item in value]
+        if any(part is None for part in parts):
+            return None
+        return "S{" + ",".join(sorted(parts)) + "}"
+    return None
+
+
 def config_fingerprint(config: SimulationConfig) -> str | None:
     """A stable fingerprint of every config field, or ``None``.
 
     ``None`` means the configuration is not content-addressable (it
-    carries live model instances whose behaviour we cannot hash) and the
-    cell must not be cached.
+    carries live model instances whose behaviour we cannot hash, or a
+    value of a type :func:`_canonical` does not cover) and the cell
+    must not be cached.  Two equal configs fingerprint equally whatever
+    the insertion order of their nested dicts/sets (the encoding is
+    canonical — see :func:`_canonical`).
     """
     if not isinstance(config.scheme, str):
         return None
@@ -184,10 +246,10 @@ def config_fingerprint(config: SimulationConfig) -> str | None:
         return None
     parts = []
     for f in dataclasses.fields(config):
-        value = getattr(config, f.name)
-        if f.name == "scheme_kwargs":
-            value = tuple(sorted(value.items()))
-        parts.append(f"{f.name}={value!r}")
+        encoded = _canonical(getattr(config, f.name))
+        if encoded is None:
+            return None
+        parts.append(f"{f.name}={encoded}")
     return ";".join(parts)
 
 
@@ -212,12 +274,44 @@ class ResultCache:
     cell content (see :func:`cell_cache_key`), so invalidation is
     automatic on any trace or config change; delete the directory to
     clear it wholesale.  Unreadable entries are treated as misses.
+
+    Writes are atomic (``os.replace`` of a per-PID temp file) and never
+    fail a sweep: a put that cannot complete (disk full, read-only
+    cache dir) is counted on ``puts_failed`` and surfaced to the
+    progress stream as a ``"cache-error"`` :class:`CellEvent`.  Temp
+    files a crashed writer left behind (``kill -9`` mid-write) are
+    reaped on construction once their writing PID is dead.
     """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.puts_failed = 0
+        self._reap_stale_tmp()
+
+    def _reap_stale_tmp(self) -> None:
+        """Remove ``*.tmp.<pid>`` strandings of dead writer processes."""
+        if not self.root.is_dir():
+            return
+        try:
+            candidates = list(self.root.glob("*/*.tmp.*"))
+        except OSError:
+            return
+        for tmp in candidates:
+            try:
+                pid = int(tmp.name.rsplit(".", 1)[-1])
+            except ValueError:
+                continue
+            try:
+                if pid == os.getpid() or shm._pid_alive(pid):
+                    continue
+            except OverflowError:
+                continue
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     def key_for(self, job: SweepJob) -> str | None:
         return cell_cache_key(job.trace, job.config)
@@ -240,7 +334,9 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, key: str, result: SimulationResult) -> None:
+    def put(self, key: str, result: SimulationResult) -> bool:
+        """Write ``result`` through; ``False`` (and a ``puts_failed``
+        bump) when the write could not complete."""
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
@@ -249,7 +345,13 @@ class ResultCache:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except OSError:
-            tmp.unlink(missing_ok=True)
+            self.puts_failed += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        return True
 
 
 # -- execution --------------------------------------------------------------
@@ -375,31 +477,66 @@ class ExecutionOptions:
         )
 
 
-def _execute(
-    trace: RunTrace | TraceRef | TraceHandle, config: SimulationConfig
-) -> tuple[SimulationResult, float]:
-    """Worker entry point: simulate one cell, timing the compute.
+def _materialize(trace: RunTrace | TraceRef | TraceHandle) -> RunTrace:
+    """A concrete :class:`RunTrace` for any job payload.
 
     References and handles materialize through the process-local LRU
     (:func:`repro.sim.shm.cached_trace`), so a worker that sees the same
     trace again — the common case in a sweep — reuses the already-built
     ``RunTrace`` along with its warm column caches.
     """
-    started = time.perf_counter()
     if isinstance(trace, TraceRef):
         ref = trace
-        trace = shm.cached_trace(
+        return shm.cached_trace(
             trace_fingerprint(ref), lambda: (ref.materialize(), None)
         )
-    elif isinstance(trace, TraceHandle):
-        trace = shm.cached_trace(trace.fingerprint, trace.attach)
-    result = simulate(trace, config)
+    if isinstance(trace, TraceHandle):
+        return shm.cached_trace(trace.fingerprint, trace.attach)
+    return trace
+
+
+def _execute(
+    trace: RunTrace | TraceRef | TraceHandle, config: SimulationConfig
+) -> tuple[SimulationResult, float]:
+    """Worker entry point: simulate one cell, timing the compute."""
+    started = time.perf_counter()
+    result = simulate(_materialize(trace), config)
     return result, time.perf_counter() - started
+
+
+def _execute_batch(
+    trace: RunTrace | TraceRef | TraceHandle,
+    configs: list[SimulationConfig],
+) -> list[tuple[SimulationResult, float]]:
+    """Worker entry point for one batch unit: all of a trace's cells.
+
+    The trace materializes once through the process-local LRU and every
+    configuration runs over it under the cross-cell batched engine
+    (:func:`repro.sim.batch.simulate_cells_timed`), sharing its
+    :class:`~repro.sim.batch.TraceScan` — which the LRU keeps warm
+    across batches, exactly like the column caches.
+    """
+    from repro.sim.batch import simulate_cells_timed
+
+    return simulate_cells_timed(_materialize(trace), configs)
 
 
 def _emit(progress: ProgressCallback | None, event: CellEvent) -> None:
     if progress is not None:
         progress(event)
+
+
+def _write_through(
+    cache: "ResultCache | None",
+    ckey: str | None,
+    result: SimulationResult,
+    progress: ProgressCallback | None,
+    key: Any,
+) -> None:
+    """Cache a computed result, surfacing write failures as events."""
+    if cache is not None and ckey is not None:
+        if not cache.put(ckey, result):
+            _emit(progress, CellEvent(key, "cache-error", 0.0))
 
 
 def _try_pickle(obj: Any) -> bool:
@@ -408,6 +545,32 @@ def _try_pickle(obj: Any) -> bool:
     except Exception:
         return False
     return True
+
+
+def _trace_picklable(
+    trace: RunTrace | TraceRef | TraceHandle, memo: dict
+) -> bool:
+    """Whether a trace payload can ship to a worker (memoized by id).
+
+    Handles and references skip the check entirely — they are plain
+    dataclasses of primitives.  Identity keying is safe because the
+    batch's job list keeps every payload alive for the duration.
+    """
+    if isinstance(trace, (TraceRef, TraceHandle)):
+        return True
+    key = ("trace", id(trace))
+    trace_ok = memo.get(key)
+    if trace_ok is None:
+        trace_ok = memo[key] = _try_pickle(trace)
+    return trace_ok
+
+
+def _config_picklable(config: SimulationConfig, memo: dict) -> bool:
+    key = ("config", id(config))
+    config_ok = memo.get(key)
+    if config_ok is None:
+        config_ok = memo[key] = _try_pickle(config)
+    return config_ok
 
 
 def _payload_picklable(
@@ -419,24 +582,34 @@ def _payload_picklable(
 
     ``memo`` is a per-batch cache keyed by object identity: a sweep
     whose 50 cells share one trace pickles it for the check once, not
-    50 times (and handles/references skip the check entirely — they are
-    plain dataclasses of primitives).  Identity keying is safe because
-    the batch's job list keeps every payload alive for the duration.
+    50 times.
     """
-    if isinstance(trace, (TraceRef, TraceHandle)):
-        trace_ok = True
-    else:
-        key = ("trace", id(trace))
-        trace_ok = memo.get(key)
-        if trace_ok is None:
-            trace_ok = memo[key] = _try_pickle(trace)
-    if not trace_ok:
-        return False
-    key = ("config", id(config))
-    config_ok = memo.get(key)
-    if config_ok is None:
-        config_ok = memo[key] = _try_pickle(config)
-    return config_ok
+    return _trace_picklable(trace, memo) and _config_picklable(config, memo)
+
+
+#: A batch unit: the cells (job + cache key) of one trace-fingerprint
+#: group, executed together by the cross-cell batched engine.
+BatchGroup = list[tuple[SweepJob, "str | None"]]
+
+
+def _split_groups(groups: list[BatchGroup], workers: int) -> list[BatchGroup]:
+    """Split batch units so a few big groups can use the whole pool.
+
+    Units are trace-aligned, so a single-trace grid would otherwise
+    serialize on one worker; halving the biggest unit until there are
+    enough (or halving would drop a unit below 2 cells) keeps every
+    worker busy while each unit still amortizes its trace's shared
+    scan.  Cells keep their original relative order inside each unit.
+    """
+    units = list(groups)
+    while len(units) < workers:
+        biggest = max(units, key=len, default=None)
+        if biggest is None or len(biggest) < 4:
+            break
+        units.remove(biggest)
+        mid = (len(biggest) + 1) // 2
+        units.extend((biggest[:mid], biggest[mid:]))
+    return units
 
 
 def _run_pool(
@@ -445,20 +618,27 @@ def _run_pool(
     cache: ResultCache | None,
     progress: ProgressCallback | None,
     results: dict[Any, SimulationResult],
-) -> list[tuple[SweepJob, str | None, str]]:
-    """Run shippable cells through the pool, filling ``results``.
+    groups: list[BatchGroup] | None = None,
+) -> tuple[list[tuple[SweepJob, str | None, str]], list[tuple[BatchGroup, str]]]:
+    """Run shippable cells and batch units through the pool.
 
     Futures are collected ``as_completed``, so progress events and cache
-    write-through happen as cells finish rather than in submission
-    order.  Returns the cells that still need inline execution as
-    ``(job, cache_key, status)`` triples — ``"fallback"`` for payloads
-    that could not pickle, ``"retried"`` for worker or pool failures.
-    When the pool itself dies mid-batch, futures that already completed
-    are harvested first (their results and cache write-through are kept)
+    write-through happen as units finish rather than in submission
+    order.  Returns ``(cells, groups)`` that still need inline
+    execution: cells as ``(job, cache_key, status)`` triples —
+    ``"fallback"`` for payloads that could not pickle, ``"retried"``
+    for worker or pool failures — and batch units as
+    ``(group, status)`` pairs (a group whose *trace* cannot pickle
+    stays batched inline rather than degrading to per-cell runs).  A
+    batch unit that fails in a worker retries per cell, inline.  When
+    the pool itself dies mid-batch, futures that already completed are
+    harvested first (their results and cache write-through are kept)
     and only the genuinely unfinished cells re-run inline.
     """
     inline: list[tuple[SweepJob, str | None, str]] = []
+    inline_groups: list[tuple[BatchGroup, str]] = []
     shippable: list[tuple[SweepJob, str | None, Any]] = []
+    ship_groups: list[tuple[BatchGroup, Any]] = []
     memo: dict = {}
     for job, ckey in todo:
         payload = pool.prepare(job.trace)
@@ -466,33 +646,71 @@ def _run_pool(
             shippable.append((job, ckey, payload))
         else:
             inline.append((job, ckey, "fallback"))
-    if not shippable:
-        return inline
+    for group in groups or ():
+        payload = pool.prepare(group[0][0].trace)
+        if not _trace_picklable(payload, memo):
+            inline_groups.append((group, "fallback"))
+            continue
+        keep = [
+            cell for cell in group if _config_picklable(cell[0].config, memo)
+        ]
+        inline.extend(
+            (job, ckey, "fallback")
+            for job, ckey in group
+            if not _config_picklable(job.config, memo)
+        )
+        if keep:
+            ship_groups.append((keep, payload))
+    if not shippable and not ship_groups:
+        return inline, inline_groups
 
-    def record(job: SweepJob, ckey: str | None, result, elapsed) -> None:
+    def record(
+        job: SweepJob, ckey: str | None, result, elapsed, status: str
+    ) -> None:
         results[job.key] = result
-        if cache is not None and ckey is not None:
-            cache.put(ckey, result)
-        _emit(progress, CellEvent(job.key, "done", elapsed))
+        _write_through(cache, ckey, result, progress, job.key)
+        _emit(progress, CellEvent(job.key, status, elapsed))
 
     futures: dict[Any, Any] = {}
+    group_futures: list[Any] = [None] * len(ship_groups)
     handled: set[Any] = set()
+    handled_groups: set[int] = set()
     try:
         executor = pool.executor()
-        fut_to_cell = {}
+        fut_to_unit: dict[Any, tuple[str, Any]] = {}
         for job, ckey, payload in shippable:
             future = executor.submit(_execute, payload, job.config)
             futures[job.key] = future
-            fut_to_cell[future] = (job, ckey)
-        for future in as_completed(fut_to_cell):
-            job, ckey = fut_to_cell[future]
-            handled.add(job.key)
-            try:
-                result, elapsed = future.result()
-            except Exception:
-                inline.append((job, ckey, "retried"))
+            fut_to_unit[future] = ("cell", (job, ckey))
+        for index, (group, payload) in enumerate(ship_groups):
+            future = executor.submit(
+                _execute_batch, payload, [job.config for job, _ in group]
+            )
+            group_futures[index] = future
+            fut_to_unit[future] = ("group", index)
+        for future in as_completed(fut_to_unit):
+            kind, unit = fut_to_unit[future]
+            if kind == "cell":
+                job, ckey = unit
+                handled.add(job.key)
+                try:
+                    result, elapsed = future.result()
+                except Exception:
+                    inline.append((job, ckey, "retried"))
+                else:
+                    record(job, ckey, result, elapsed, "done")
             else:
-                record(job, ckey, result, elapsed)
+                group, _ = ship_groups[unit]
+                handled_groups.add(unit)
+                try:
+                    pairs = future.result()
+                except Exception:
+                    inline.extend(
+                        (job, ckey, "retried") for job, ckey in group
+                    )
+                else:
+                    for (job, ckey), (result, elapsed) in zip(group, pairs):
+                        record(job, ckey, result, elapsed, "batched")
     except Exception:
         # The pool itself failed (fork unavailable, broken worker
         # teardown, ...).  Keep every result a worker already produced —
@@ -512,12 +730,32 @@ def _run_pool(
                 except Exception:
                     pass
                 else:
-                    record(job, ckey, result, elapsed)
+                    record(job, ckey, result, elapsed, "done")
                     continue
             if future is not None:
                 future.cancel()
             inline.append((job, ckey, "retried"))
-    return inline
+        for index, (group, _) in enumerate(ship_groups):
+            if index in handled_groups:
+                continue
+            future = group_futures[index]
+            if (
+                future is not None
+                and future.done()
+                and not future.cancelled()
+            ):
+                try:
+                    pairs = future.result()
+                except Exception:
+                    pass
+                else:
+                    for (job, ckey), (result, elapsed) in zip(group, pairs):
+                        record(job, ckey, result, elapsed, "batched")
+                    continue
+            if future is not None:
+                future.cancel()
+            inline.extend((job, ckey, "retried") for job, ckey in group)
+    return inline, inline_groups
 
 
 def run_cells(
@@ -527,6 +765,7 @@ def run_cells(
     progress: ProgressCallback | None = None,
     metrics: Any | None = None,
     pool: WorkerPool | None = None,
+    batch: bool = False,
 ) -> dict[Any, SimulationResult]:
     """Execute sweep cells, in parallel when asked, returning by key.
 
@@ -534,10 +773,11 @@ def run_cells(
     worker count of ``pool`` when one is given; ``workers<=1`` runs
     inline.  When a ``cache`` is given, cacheable cells are served from
     it and newly computed results are written through.  Every cell
-    reports exactly one :class:`CellEvent` to ``progress``.  ``metrics``
-    may be a :class:`repro.obs.metrics.MetricsRegistry`: each cell whose
-    config enabled metrics collection merges its registry into it (cache
-    hits included), giving a batch-wide view.
+    reports exactly one completion :class:`CellEvent` to ``progress``
+    (plus a ``"cache-error"`` event when its write-through failed).
+    ``metrics`` may be a :class:`repro.obs.metrics.MetricsRegistry`:
+    each cell whose config enabled metrics collection merges its
+    registry into it (cache hits included), giving a batch-wide view.
 
     ``pool`` is a persistent :class:`WorkerPool` to execute on; without
     one, a transient pool (own arena, own worker processes) is built for
@@ -546,10 +786,22 @@ def run_cells(
     :class:`~repro.sim.shm.TraceHandle` payloads when the platform
     allows, falling back to per-cell pickling when it does not.
 
+    ``batch=True`` routes eligible cells through the cross-cell batched
+    engine (:mod:`repro.sim.batch`): cells passing
+    :func:`~repro.sim.batch.batch_eligible` are grouped by trace
+    fingerprint, and each group of two or more simulates in one pass
+    over its trace's shared scan — as one unit per worker under a pool
+    (so a worker batches all the cells of its shared-memory trace), or
+    inline otherwise — reporting ``"batched"`` events.  Ineligible
+    cells (instrumented, adaptive, uncacheable model instances, ...)
+    and singleton groups keep the ordinary per-cell dispatch, and a
+    batch unit that fails retries per cell, so ``batch=True`` is always
+    safe to request.
+
     Results are identical to running :func:`simulate` serially on each
-    cell in job order, whatever the worker count or shipping path; the
-    returned dict is in job order even though pooled cells complete out
-    of order.
+    cell in job order, whatever the worker count, shipping path, or
+    ``batch`` setting; the returned dict is in job order even though
+    pooled cells complete out of order.
     """
     jobs = list(jobs)
     seen: set[Any] = set()
@@ -575,23 +827,59 @@ def run_cells(
                 continue
         todo.append((job, ckey))
 
+    groups: list[BatchGroup] = []
+    if batch and todo:
+        from repro.sim.batch import batch_eligible
+
+        singles: list[tuple[SweepJob, str | None]] = []
+        by_trace: dict[str, BatchGroup] = {}
+        for job, ckey in todo:
+            if batch_eligible(job.config):
+                by_trace.setdefault(
+                    trace_fingerprint(job.trace), []
+                ).append((job, ckey))
+            else:
+                singles.append((job, ckey))
+        for cells in by_trace.values():
+            if len(cells) >= 2:
+                groups.append(cells)
+            else:
+                singles.extend(cells)
+        todo = singles
+
     remaining: list[tuple[SweepJob, str | None, str]]
-    if workers > 1 and len(todo) > 1:
+    inline_groups: list[tuple[BatchGroup, str]]
+    if workers > 1 and len(todo) + sum(len(g) for g in groups) > 1:
         owned: WorkerPool | None = None
         if pool is None or pool.closed:
             pool = owned = WorkerPool(workers)
         try:
-            remaining = _run_pool(todo, pool, cache, progress, results)
+            remaining, inline_groups = _run_pool(
+                todo, pool, cache, progress, results,
+                groups=_split_groups(groups, pool.workers),
+            )
         finally:
             if owned is not None:
                 owned.close()
     else:
         remaining = [(job, ckey, "done") for job, ckey in todo]
+        inline_groups = [(group, "batched") for group in groups]
+    for group, status in inline_groups:
+        try:
+            pairs = _execute_batch(
+                group[0][0].trace, [job.config for job, _ in group]
+            )
+        except Exception:
+            remaining.extend((job, ckey, "retried") for job, ckey in group)
+        else:
+            for (job, ckey), (result, elapsed) in zip(group, pairs):
+                results[job.key] = result
+                _write_through(cache, ckey, result, progress, job.key)
+                _emit(progress, CellEvent(job.key, status, elapsed))
     for job, ckey, status in remaining:
         result, elapsed = _execute(job.trace, job.config)
         results[job.key] = result
-        if cache is not None and ckey is not None:
-            cache.put(ckey, result)
+        _write_through(cache, ckey, result, progress, job.key)
         _emit(progress, CellEvent(job.key, status, elapsed))
     ordered = {job.key: results[job.key] for job in jobs}
     if metrics is not None:

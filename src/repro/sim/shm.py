@@ -39,6 +39,7 @@ import atexit
 import itertools
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -85,18 +86,40 @@ class _untracked_attach:
     the publisher's own register/unregister pair.  Only the publishing
     arena may unlink, so attaches suppress registration entirely
     (equivalent to 3.13's ``track=False``).
+
+    The patch is process-global, so it must be reentrant and
+    exception-safe: a class-level lock plus a depth counter mean
+    concurrent attaches (threads sharing a process) nest instead of
+    racing — naive per-instance save/restore lets a second thread save
+    the no-op as "the original" and permanently install it — and the
+    real ``register`` is restored by whichever exit brings the depth
+    back to zero, even when ``SharedMemory()`` raises inside the block.
     """
+
+    _lock = threading.Lock()
+    _depth = 0
+    _saved: Callable | None = None
 
     def __enter__(self):
         from multiprocessing import resource_tracker
 
-        self._tracker = resource_tracker
-        self._register = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
+        cls = _untracked_attach
+        with cls._lock:
+            if cls._depth == 0:
+                cls._saved = resource_tracker.register
+                resource_tracker.register = lambda *args, **kwargs: None
+            cls._depth += 1
         return self
 
     def __exit__(self, *exc_info):
-        self._tracker.register = self._register
+        from multiprocessing import resource_tracker
+
+        cls = _untracked_attach
+        with cls._lock:
+            cls._depth -= 1
+            if cls._depth == 0:
+                resource_tracker.register = cls._saved
+                cls._saved = None
 
 
 def arena_mode() -> str:

@@ -38,6 +38,7 @@ from repro.trace.compress import RunTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.policy.adaptive import AdaptivePolicy
+    from repro.trace.compress import TraceColumns
 
 #: Default node id of the active (trace-running) node in cluster mode.
 ACTIVE_NODE = 0
@@ -108,6 +109,23 @@ class Simulator:
 
     def run(self, trace: RunTrace) -> SimulationResult:
         """Simulate ``trace`` and return the result."""
+        state, cols, recorder = self._prepare(trace)
+        if self._use_fast(state):
+            clock = drive_fast(self, state, trace, cols)
+        else:
+            clock = self._drive_reference(state, cols)
+        return self._finish(state, clock, recorder)
+
+    def _prepare(
+        self, trace: RunTrace
+    ) -> tuple["_RunState", "TraceColumns", Recorder | None]:
+        """Build the per-run state every engine drives.
+
+        Split out of :meth:`run` so the batch engine
+        (:mod:`repro.sim.batch`) can set up each of its cells exactly the
+        way a standalone run would — same substrate objects, same reset
+        order — and drive them itself.  Pair with :meth:`_finish`.
+        """
         cfg = self.config
         if trace.page_bytes != cfg.page_bytes:
             raise SimulationError(
@@ -189,27 +207,37 @@ class Simulator:
             ins=ins,
             adaptive=controller,
         )
+        return state, cols, recorder
 
-        # Engine dispatch: the fast engine handles every configuration
-        # except those demanding per-event hooks — an attached
-        # instrument (including the observe= recorder), PALcode
-        # emulation (charged per reference against in-flight pages),
-        # subpage-distance tracking (inspects every hit), and adaptive
-        # policies on the per-reference-run "events" feed.  The default
-        # "faults" feed observes only at faults and incomplete-page
-        # touches, which both engines visit identically.
-        use_fast = (
+    def _use_fast(self, state: "_RunState") -> bool:
+        """Engine dispatch: the fast engine handles every configuration
+        except those demanding per-event hooks — an attached
+        instrument (including the observe= recorder), PALcode
+        emulation (charged per reference against in-flight pages),
+        subpage-distance tracking (inspects every hit), and adaptive
+        policies on the per-reference-run "events" feed.  The default
+        "faults" feed observes only at faults and incomplete-page
+        touches, which both engines visit identically.
+        """
+        cfg = self.config
+        controller = state.adaptive
+        return (
             cfg.engine == "fast"
-            and ins is None
-            and pal is None
+            and state.ins is None
+            and state.pal is None
             and not cfg.track_distances
             and (controller is None or not controller.needs_reference_events)
         )
-        if use_fast:
-            clock = drive_fast(self, state, trace, cols)
-        else:
-            clock = self._drive_reference(state, cols)
 
+    def _finish(
+        self,
+        state: "_RunState",
+        clock: float,
+        recorder: Recorder | None,
+    ) -> SimulationResult:
+        """Finalize a driven run and return its result (pairs with
+        :meth:`_prepare`)."""
+        result = state.result
         self._finalize(state, clock)
         if recorder is not None:
             if recorder.metrics is not None:

@@ -70,6 +70,7 @@ def run_subpage_sweep(
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
     pool: WorkerPool | None = None,
+    batch: bool = False,
 ) -> SweepResult:
     """The Figure 3 grid: rows = memory configs, columns = schemes/sizes.
 
@@ -80,9 +81,11 @@ def run_subpage_sweep(
     Cells route through :func:`repro.sim.parallel.run_cells`:
     ``workers`` fans them out over processes (``None`` reads
     ``REPRO_WORKERS``), ``cache`` skips cells already computed,
-    ``progress`` receives per-cell events, and ``pool`` reuses a
-    persistent :class:`~repro.sim.parallel.WorkerPool`.  Results are
-    identical at any worker count.
+    ``progress`` receives per-cell events, ``pool`` reuses a
+    persistent :class:`~repro.sim.parallel.WorkerPool`, and ``batch``
+    routes eligible cells through the cross-cell batched engine
+    (:mod:`repro.sim.batch`).  Results are identical at any worker
+    count and ``batch`` setting.
     """
     jobs: list[SweepJob] = []
     for row_label, fraction in memory_fractions.items():
@@ -126,7 +129,8 @@ def run_subpage_sweep(
                 config=cfg,
             ))
     results = run_cells(
-        jobs, workers=workers, cache=cache, progress=progress, pool=pool
+        jobs, workers=workers, cache=cache, progress=progress, pool=pool,
+        batch=batch,
     )
     sweep = SweepResult()
     for job in jobs:
@@ -206,6 +210,7 @@ def run_memory_sweep(
     cache: ResultCache | None = None,
     progress: ProgressCallback | None = None,
     pool: WorkerPool | None = None,
+    batch: bool = False,
 ) -> dict[str, SimulationResult]:
     """One configuration across several memory sizes."""
     jobs = [
@@ -219,5 +224,6 @@ def run_memory_sweep(
         for label, fraction in memory_fractions.items()
     ]
     return run_cells(
-        jobs, workers=workers, cache=cache, progress=progress, pool=pool
+        jobs, workers=workers, cache=cache, progress=progress, pool=pool,
+        batch=batch,
     )

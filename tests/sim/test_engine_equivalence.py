@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.sim.batch import batch_eligible, simulate_cells
 from repro.sim.config import SimulationConfig, memory_pages_for
 from repro.sim.simulator import Simulator, simulate
 from repro.trace.compress import compress_references
@@ -180,6 +181,125 @@ class TestEdgeTraces:
         )
         assert ref == fast
         assert fast.dirty_evictions == ref.dirty_evictions
+
+
+def matrix_configs(trace):
+    """Every (scheme x subpage x memory x backing) cell as one batch."""
+    configs = []
+    for scheme, subpage in SCHEME_CELLS:
+        for fraction in (1.0, 0.5, 0.25):
+            for backing in ("remote", "disk", "cluster"):
+                configs.append(SimulationConfig(
+                    memory_pages=memory_pages_for(trace, fraction),
+                    scheme=scheme,
+                    subpage_bytes=subpage,
+                    backing=backing,
+                    engine="fast",
+                    track_distances=False,
+                ))
+    return configs
+
+
+class TestBatchEquivalence:
+    """The cross-cell batched engine against both per-cell engines.
+
+    ``simulate_cells`` runs the whole matrix over one shared
+    :class:`~repro.sim.batch.TraceScan`; every cell must equal the
+    fast *and* reference engines with ``==`` — the full
+    :class:`~repro.sim.results.SimulationResult`, its ``summary()``
+    dict, and its link statistics, to the last float bit.
+    """
+
+    def test_full_matrix_bit_identical(self, mixed_trace):
+        configs = matrix_configs(mixed_trace)
+        assert all(batch_eligible(c) for c in configs)
+        batched = simulate_cells(mixed_trace, configs)
+        assert len(batched) == len(configs)
+        for config, got in zip(configs, batched):
+            fast = simulate(mixed_trace, config)
+            ref = simulate(
+                mixed_trace, config.with_overrides(engine="reference")
+            )
+            assert got == fast == ref
+            assert got.summary() == ref.summary()
+            assert got.link_stats == ref.link_stats
+
+    @pytest.mark.parametrize(
+        "replacement", ["lru", "fifo", "clock", "random"]
+    )
+    def test_replacement_policies(self, mixed_trace, replacement):
+        config = SimulationConfig(
+            memory_pages=memory_pages_for(mixed_trace, 0.5),
+            scheme="eager",
+            subpage_bytes=1024,
+            replacement=replacement,
+            track_distances=False,
+        )
+        (got,) = simulate_cells(mixed_trace, [config])
+        assert got == simulate(
+            mixed_trace, config.with_overrides(engine="reference")
+        )
+
+    def test_mixed_eligibility_stays_positional(self, mixed_trace):
+        """Ineligible cells (TLB, adaptive) interleave with batched
+        ones and every result still lands at its config's index."""
+        memory = memory_pages_for(mixed_trace, 0.5)
+        configs = [
+            SimulationConfig(
+                memory_pages=memory, scheme="eager", subpage_bytes=512,
+                track_distances=False,
+            ),
+            SimulationConfig(
+                memory_pages=memory, scheme="adaptive",
+                scheme_kwargs={"predictor": "stride"},
+                subpage_bytes=1024, track_distances=False,
+            ),
+            SimulationConfig(
+                memory_pages=memory, scheme="eager", subpage_bytes=1024,
+                tlb_entries=16, track_distances=False,
+            ),
+            SimulationConfig(
+                memory_pages=memory, scheme="fullpage",
+                subpage_bytes=8192, track_distances=False,
+            ),
+        ]
+        assert [batch_eligible(c) for c in configs] == [
+            True, False, False, True
+        ]
+        batched = simulate_cells(mixed_trace, configs)
+        for config, got in zip(configs, batched):
+            assert got == simulate(mixed_trace, config)
+
+    def test_edge_traces(self):
+        for addrs in (
+            [page_addr(0)],
+            [page_addr(0, off) for off in (0, 4096, 0, 4096)] * 500,
+            [page_addr(p) for p in range(8)]
+            + [page_addr(p % 8, 64 * (p % 100)) for p in range(3_000)],
+        ):
+            trace = make_trace(addrs)
+            config = SimulationConfig(
+                memory_pages=4, track_distances=False
+            )
+            (got,) = simulate_cells(trace, [config])
+            assert got == simulate(
+                trace, config.with_overrides(engine="reference")
+            )
+
+    def test_thrash_bailout_matches(self, mixed_trace):
+        """Lazy at tiny memory never completes pages: the batched
+        drive must take the same reference bail-out as drive_fast."""
+        config = SimulationConfig(
+            memory_pages=memory_pages_for(mixed_trace, 0.25),
+            scheme="lazy",
+            subpage_bytes=512,
+            track_distances=False,
+        )
+        (got,) = simulate_cells(mixed_trace, [config])
+        assert got == simulate(mixed_trace, config)
+        assert got == simulate(
+            mixed_trace, config.with_overrides(engine="reference")
+        )
 
 
 class TestFallback:

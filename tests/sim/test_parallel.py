@@ -11,6 +11,8 @@ inline execution and worker failures retry inline instead of failing.
 
 import os
 import pickle
+import subprocess
+import time
 
 import numpy as np
 import pytest
@@ -46,6 +48,23 @@ def _explode_in_worker(trace, config):
     """Worker stand-in for ``_execute``: fails in any forked child."""
     if os.getpid() != _PARENT_PID:
         raise RuntimeError("injected worker failure")
+    return _REAL_EXECUTE(trace, config)
+
+
+def _explode_512_in_worker(trace, config):
+    """Fails only the 512-byte cell, only in a child: the other cells
+    of the same pooled run complete normally."""
+    if os.getpid() != _PARENT_PID and config.subpage_bytes == 512:
+        raise RuntimeError("injected selective worker failure")
+    return _REAL_EXECUTE(trace, config)
+
+
+def _die_512_in_worker(trace, config):
+    """Kills the whole worker *process* on the 512-byte cell, after a
+    pause that lets its siblings finish first."""
+    if os.getpid() != _PARENT_PID and config.subpage_bytes == 512:
+        time.sleep(0.5)
+        os._exit(1)
     return _REAL_EXECUTE(trace, config)
 
 
@@ -475,3 +494,180 @@ class TestWorkerFailure:
         run_cells(make_jobs(trace), workers=2, cache=cache,
                   progress=events.append)
         assert all(e.status == "cached" for e in events)
+
+
+class TestPartialWorkerFailure:
+    """One cell of a pooled run fails; its siblings' work is kept."""
+
+    def test_only_failed_cell_retries_inline(self, trace, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setattr(parallel, "_execute", _explode_512_in_worker)
+        jobs = make_jobs(trace)
+        expected = run_cells(jobs, workers=1)
+        cache = ResultCache(tmp_path)
+        events: list[CellEvent] = []
+        out = run_cells(jobs, workers=2, cache=cache,
+                        progress=events.append)
+        assert_results_identical(out, expected)
+        statuses = {
+            e.key: e.status for e in events if e.status != "cache-error"
+        }
+        assert len(events) == len(jobs)
+        assert statuses["sp_512"] == "retried"
+        assert all(
+            statuses[j.key] == "done" for j in jobs
+            if j.key != "sp_512"
+        )
+        # Completed cells wrote through AND the retried cell did too:
+        # a fresh run over the same cache computes nothing.
+        events2: list[CellEvent] = []
+        run_cells(jobs, workers=2, cache=cache, progress=events2.append)
+        assert all(e.status == "cached" for e in events2)
+        assert cache.puts_failed == 0
+
+    def test_worker_death_keeps_completed_cells(self, trace, tmp_path,
+                                                monkeypatch):
+        """``os._exit`` mid-batch breaks the pool itself; results that
+        workers already produced are harvested, the rest re-run inline,
+        still exactly one completion event per cell."""
+        monkeypatch.setattr(parallel, "_execute", _die_512_in_worker)
+        jobs = make_jobs(trace)
+        expected = run_cells(jobs, workers=1)
+        cache = ResultCache(tmp_path)
+        events: list[CellEvent] = []
+        out = run_cells(jobs, workers=2, cache=cache,
+                        progress=events.append)
+        assert_results_identical(out, expected)
+        statuses = {
+            e.key: e.status for e in events if e.status != "cache-error"
+        }
+        assert sorted(statuses) == sorted(j.key for j in jobs)
+        assert statuses["sp_512"] == "retried"
+        assert set(statuses.values()) <= {"done", "retried"}
+        events2: list[CellEvent] = []
+        run_cells(jobs, workers=2, cache=cache, progress=events2.append)
+        assert all(e.status == "cached" for e in events2)
+
+
+class TestCanonicalFingerprint:
+    """The v5 cache key: canonical, type-tagged, order-insensitive."""
+
+    def test_cache_version_bumped_for_canonical_keys(self):
+        assert parallel.CACHE_VERSION == 5
+
+    def test_scalar_type_tags_never_collide(self):
+        values = [1, 1.0, True, "1", None]
+        encoded = [parallel._canonical(v) for v in values]
+        assert None not in encoded
+        assert len(set(encoded)) == len(values)
+
+    def test_dict_insertion_order_is_canonical(self):
+        a = {"predictor": "stride", "max_depth": 6}
+        b = {"max_depth": 6, "predictor": "stride"}
+        assert parallel._canonical(a) == parallel._canonical(b)
+        nested_a = {"outer": {"x": 1, "y": [1, 2]}, "z": {1.5, 2.5}}
+        nested_b = {"z": {2.5, 1.5}, "outer": {"y": [1, 2], "x": 1}}
+        assert parallel._canonical(nested_a) == parallel._canonical(
+            nested_b
+        )
+
+    def test_sequence_order_and_kind_are_significant(self):
+        assert parallel._canonical([1, 2]) != parallel._canonical([2, 1])
+        assert parallel._canonical([1, 2]) != parallel._canonical((1, 2))
+
+    def test_unknown_types_are_uncacheable(self):
+        assert parallel._canonical(object()) is None
+        assert parallel._canonical({"k": object()}) is None
+        assert parallel._canonical([object()]) is None
+
+    def test_config_fingerprint_ignores_kwargs_order(self, trace):
+        def config(kwargs):
+            return SimulationConfig(
+                memory_pages=8,
+                scheme="adaptive",
+                scheme_kwargs=kwargs,
+                subpage_bytes=1024,
+                event_ns=1000.0,
+                use_trace_dilation=False,
+            )
+
+        a = config({"predictor": "stride", "max_depth": 6})
+        b = config({"max_depth": 6, "predictor": "stride"})
+        assert config_fingerprint(a) is not None
+        assert config_fingerprint(a) == config_fingerprint(b)
+        assert cell_cache_key(trace, a) == cell_cache_key(trace, b)
+
+    def test_cache_hit_across_kwargs_order(self, trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = SweepJob(
+            key="a",
+            trace=trace,
+            config=SimulationConfig(
+                memory_pages=8, scheme="adaptive",
+                scheme_kwargs={"predictor": "stride", "max_depth": 6},
+                subpage_bytes=1024, event_ns=1000.0,
+                use_trace_dilation=False,
+            ),
+        )
+        run_cells([a], workers=1, cache=cache)
+        b = SweepJob(
+            key="a",
+            trace=trace,
+            config=SimulationConfig(
+                memory_pages=8, scheme="adaptive",
+                scheme_kwargs={"max_depth": 6, "predictor": "stride"},
+                subpage_bytes=1024, event_ns=1000.0,
+                use_trace_dilation=False,
+            ),
+        )
+        run_cells([b], workers=1, cache=cache)
+        assert cache.hits == 1
+
+
+class TestCacheFailureSurface:
+    """Failed write-throughs are counted and reported, never fatal."""
+
+    def test_put_failure_counts_and_emits_event(self, trace):
+        cache = ResultCache("/proc/nonexistent/repro-cache")
+        jobs = make_jobs(trace, sizes=(1024,))
+        events: list[CellEvent] = []
+        out = run_cells(jobs, workers=1, cache=cache,
+                        progress=events.append)
+        assert out["sp_1024"].total_faults > 0
+        assert cache.puts_failed == 1
+        kinds = [e.status for e in events]
+        assert kinds.count("done") == 1
+        assert kinds.count("cache-error") == 1
+        error = next(e for e in events if e.status == "cache-error")
+        assert error.key == "sp_1024"
+
+    def test_reaps_tmp_files_of_dead_writers_only(self, tmp_path):
+        sub = tmp_path / "ab"
+        sub.mkdir()
+        child = subprocess.Popen(["sleep", "0"])
+        child.wait()
+        live = subprocess.Popen(["sleep", "30"])
+        try:
+            dead_tmp = sub / f"deadbeef.tmp.{child.pid}"
+            own_tmp = sub / f"cafe.tmp.{os.getpid()}"
+            live_tmp = sub / f"feed.tmp.{live.pid}"
+            weird_tmp = sub / "weird.tmp.notapid"
+            huge_tmp = sub / f"huge.tmp.{10**20}"
+            entry = sub / "entry.pkl"
+            for path in (dead_tmp, own_tmp, live_tmp, weird_tmp,
+                         huge_tmp, entry):
+                path.write_bytes(b"x")
+            ResultCache(tmp_path)
+            assert not dead_tmp.exists()
+            assert own_tmp.exists()
+            assert live_tmp.exists()
+            assert weird_tmp.exists()
+            assert huge_tmp.exists()
+            assert entry.exists()
+        finally:
+            live.kill()
+            live.wait()
+
+    def test_missing_root_reaps_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.puts_failed == 0

@@ -259,3 +259,60 @@ class TestWorkerCache:
         cached_trace("k0", lambda: (rebuilt.append(1) or trace, None))
         assert rebuilt == [1]
         assert closed == [0, 1]
+
+
+class TestUntrackedAttach:
+    """The process-global register patch: reentrant, exception-safe."""
+
+    def _register(self):
+        from multiprocessing import resource_tracker
+
+        return resource_tracker.register
+
+    def test_nested_blocks_restore_once(self):
+        original = self._register()
+        with shm._untracked_attach():
+            patched = self._register()
+            assert patched is not original
+            with shm._untracked_attach():
+                # The inner block must NOT save the no-op as "the
+                # original": same patched function, deeper count.
+                assert self._register() is patched
+            assert self._register() is patched
+        assert self._register() is original
+
+    def test_exception_inside_block_restores(self):
+        original = self._register()
+        with pytest.raises(RuntimeError, match="attach failed"):
+            with shm._untracked_attach():
+                assert self._register() is not original
+                raise RuntimeError("attach failed")
+        assert self._register() is original
+
+    def test_concurrent_threads_never_lose_the_original(self):
+        import threading
+
+        original = self._register()
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def attach_loop():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(200):
+                    with shm._untracked_attach():
+                        assert self._register() is not original
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=attach_loop) for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert self._register() is original
+        assert shm._untracked_attach._depth == 0
+        assert shm._untracked_attach._saved is None

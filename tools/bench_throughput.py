@@ -13,6 +13,11 @@ Two measurements, one trajectory file:
   path (``REPRO_SHM=0``, transient pool) — and gates on the reduction
   in per-cell dispatch overhead (wall time beyond the ideal parallel
   compute time).
+* Batch: runs a Figure-9-style 24-cell grid (scheme x subpage size x
+  memory size, one shared trace) through the cross-cell batched engine
+  (``repro.sim.batch.simulate_cells``) and through per-cell fast-engine
+  dispatch, verifies the results are identical, and gates on the batch
+  path's wall-clock reduction.
 * Adaptive policy: times the transparent ``"adaptive"`` meta-scheme
   (static predictor — bit-identical plans, but every fault-path event
   flows through the per-page access history) against plain pipelining
@@ -33,6 +38,7 @@ noise by construction.
 
 Usage:  python tools/bench_throughput.py [--min-speedup 2.0]
                                          [--min-dispatch-speedup 3.0]
+                                         [--min-batch-speedup 3.0]
                                          [--max-policy-overhead 0.05]
                                          [--out BENCH_throughput.json]
 """
@@ -52,7 +58,8 @@ sys.path.insert(0, "src")
 
 import numpy as np
 
-from repro.sim.config import SimulationConfig
+from repro.sim.batch import simulate_cells
+from repro.sim.config import SimulationConfig, memory_pages_for
 from repro.sim.parallel import SweepJob, WorkerPool, run_cells
 from repro.sim.simulator import simulate
 from repro.trace.compress import compress_references
@@ -177,6 +184,90 @@ def time_policy_overhead(trace):
     }
 
 
+#: Batch measurement shape: scheme x subpage x memory-fraction grid
+#: over one shared trace, best-of-this-many rounds per path.
+BATCH_SCHEMES = ("fullpage", "eager", "pipelined")
+BATCH_SUBPAGES = (512, 1024, 2048, 4096)
+BATCH_FRACTIONS = (1.0, 0.9)
+BATCH_ROUNDS = 3
+
+
+def batch_trace():
+    """A switch-dense, phase-shifting workload for the batch grid.
+
+    Every run switches pages (consecutive same-page references fold
+    into one run, so a repeat is bumped to the phase's next page),
+    which maximizes the per-span dedup work the shared scan hoists;
+    eight drifting phases keep a slow fault/eviction trickle alive so
+    no cell degenerates to a single bulk span.  The ``lazy`` scheme is
+    deliberately absent from the grid: single-block runs never complete
+    its pages, so lazy cells thrash into the scalar reference loop and
+    would measure that loop, not the engines under comparison.
+    """
+    rng = np.random.default_rng(7)
+    runs = 400_000
+    phases = 8
+    per_phase = runs // phases
+    parts = []
+    for phase in range(phases):
+        base = phase * 2
+        pages = base + rng.integers(0, 48, size=per_phase)
+        same = np.flatnonzero(pages[1:] == pages[:-1]) + 1
+        pages[same] = base + (pages[same] - base + 1) % 48
+        parts.append(pages)
+    pages = np.concatenate(parts)
+    writes = rng.random(runs) < 0.2
+    return compress_references(pages * 8192, writes, name="batchstream")
+
+
+def batch_grid(trace):
+    return [
+        SimulationConfig(
+            memory_pages=memory_pages_for(trace, fraction),
+            scheme=scheme,
+            subpage_bytes=subpage,
+            engine="fast",
+            track_distances=False,
+            event_ns=1000.0,
+        )
+        for scheme in BATCH_SCHEMES
+        for subpage in BATCH_SUBPAGES
+        for fraction in BATCH_FRACTIONS
+    ]
+
+
+def time_batch(trace):
+    """Cross-cell batched engine vs per-cell fast dispatch, same grid.
+
+    The warm-up pass doubles as the equivalence check: the batched
+    results must equal the per-cell ones exactly, or the measurement
+    is comparing different computations.
+    """
+    configs = batch_grid(trace)
+    per_cell = [simulate(trace, config) for config in configs]
+    batched = simulate_cells(trace, configs)
+    if batched != per_cell:
+        raise AssertionError("batched results diverge from per-cell")
+
+    per_cell_s = float("inf")
+    batch_s = float("inf")
+    for _ in range(BATCH_ROUNDS):
+        started = time.perf_counter()
+        for config in configs:
+            simulate(trace, config)
+        per_cell_s = min(per_cell_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        simulate_cells(trace, configs)
+        batch_s = min(batch_s, time.perf_counter() - started)
+    return {
+        "cells": len(configs),
+        "rounds": BATCH_ROUNDS,
+        "batch_per_cell_wall_ms": round(per_cell_s * 1e3, 1),
+        "batch_wall_ms": round(batch_s * 1e3, 1),
+        "batch_speedup": round(per_cell_s / batch_s, 3),
+    }
+
+
 def sweep_trace():
     """A multi-megabyte, hit-dominated trace.
 
@@ -276,6 +367,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--min-dispatch-speedup", type=float, default=3.0)
+    parser.add_argument("--min-batch-speedup", type=float, default=3.0)
     parser.add_argument("--max-policy-overhead", type=float, default=0.05)
     parser.add_argument(
         "--out", type=Path, default=Path("BENCH_throughput.json")
@@ -300,6 +392,13 @@ def main() -> int:
         f"ms/cell   {dispatch['dispatch_speedup']:.2f}x"
     )
 
+    batch = time_batch(batch_trace())
+    print(
+        f"batch           per-cell {batch['batch_per_cell_wall_ms']:8.1f} "
+        f"ms   batched {batch['batch_wall_ms']:8.1f} ms   "
+        f"{batch['batch_speedup']:.2f}x"
+    )
+
     policy = time_policy_overhead(trace)
     print(
         f"adaptive        history "
@@ -319,6 +418,7 @@ def main() -> int:
         "machine": platform.machine(),
         "cells": cells,
         "dispatch": dispatch,
+        "batch": batch,
         "adaptive_policy": policy,
     }
     history = []
@@ -350,6 +450,18 @@ def main() -> int:
         print(
             f"OK: dispatch-overhead reduction {dispatch_speedup:.2f}x "
             f">= {args.min_dispatch_speedup:.1f}x"
+        )
+    batch_speedup = batch["batch_speedup"]
+    if batch_speedup < args.min_batch_speedup:
+        print(
+            f"FAIL: batched-engine speedup {batch_speedup:.2f}x is "
+            f"below the {args.min_batch_speedup:.1f}x gate"
+        )
+        failed = True
+    else:
+        print(
+            f"OK: batched-engine speedup {batch_speedup:.2f}x >= "
+            f"{args.min_batch_speedup:.1f}x"
         )
     policy_overhead = policy["history_tracking_overhead"]
     if policy_overhead >= args.max_policy_overhead:
