@@ -1,0 +1,102 @@
+"""Benchmark: sqlite result store vs flat-file cache.
+
+Both backends implement the same get/put protocol over the same
+content keys; this benchmark times put and get throughput on realistic
+``SimulationResult`` payloads (a small Figure 3 grid's cells) and
+verifies both serve the sweep identically.  The numbers are printed
+for the trajectory — there is no speed gate (one database file vs a
+directory of pickles is a durability/provenance trade, not a speed
+race); correctness of the round trip is the assertion.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from repro.analysis.report import format_table
+from repro.sim.config import SimulationConfig
+from repro.sim.parallel import ResultCache, SweepJob, run_cells
+from repro.sim.sweep import subpage_sweep_jobs
+from repro.store import SqliteResultStore
+from repro.trace.synth.apps import build_app_trace
+
+APP = "modula3"
+SIZES = [4096, 2048, 1024, 512]
+FRACTIONS = {"1/2-mem": 0.5, "1/4-mem": 0.25}
+GET_ROUNDS = 20
+
+
+def run(tmp_root) -> dict[str, object]:
+    trace = build_app_trace(APP, scale=0.5)
+    base = SimulationConfig(memory_pages=1, scheme="eager")
+    jobs = subpage_sweep_jobs(
+        trace, base, SIZES, FRACTIONS, include_baselines=False
+    )
+    results = run_cells(jobs, workers=1)
+    payload_bytes = sum(
+        len(pickle.dumps(results[job.key])) for job in jobs
+    )
+
+    backends = {
+        "flat-file": ResultCache(tmp_root / "flat"),
+        "sqlite": SqliteResultStore(tmp_root / "results.sqlite"),
+    }
+    out: dict[str, object] = {
+        "cells": len(jobs),
+        "payload_bytes": payload_bytes,
+        "backends": {},
+    }
+    for name, backend in backends.items():
+        keys = [backend.key_for(job) for job in jobs]
+        start = time.perf_counter()
+        for key, job in zip(keys, jobs):
+            assert backend.put(key, results[job.key])
+        put_s = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(GET_ROUNDS):
+            for key in keys:
+                assert backend.get(key) is not None
+        get_s = time.perf_counter() - start
+        served = run_cells(jobs, workers=1, cache=backend)
+        assert all(
+            served[job.key].total_ms == results[job.key].total_ms
+            and served[job.key].stall_intervals
+            == results[job.key].stall_intervals
+            for job in jobs
+        ), f"{name} backend served a different sweep"
+        out["backends"][name] = {
+            "puts_per_s": len(jobs) / put_s,
+            "gets_per_s": len(jobs) * GET_ROUNDS / get_s,
+            "puts_failed": backend.puts_failed,
+        }
+    return out
+
+
+def render(out) -> str:
+    rows = [
+        [
+            name,
+            f"{stats['puts_per_s']:.0f}",
+            f"{stats['gets_per_s']:.0f}",
+            stats["puts_failed"],
+        ]
+        for name, stats in out["backends"].items()
+    ]
+    kb = out["payload_bytes"] / 1024
+    return format_table(
+        ["backend", "puts/s", "gets/s", "puts failed"],
+        rows,
+        title=(
+            f"Result persistence: {out['cells']} cells, "
+            f"{kb:.0f} KiB of payload ({APP} 0.5x)"
+        ),
+    )
+
+
+def test_store_vs_flat_cache(report, tmp_path):
+    out = report(run, render, tmp_path)
+    for stats in out["backends"].values():
+        assert stats["puts_failed"] == 0
+        assert stats["puts_per_s"] > 0
+        assert stats["gets_per_s"] > 0

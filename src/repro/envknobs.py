@@ -1,0 +1,73 @@
+"""Environment-knob parsing with documented-default degradation.
+
+Every ``REPRO_*`` integer knob parses through :func:`env_int`, so the
+whole family shares one failure policy: a malformed value (``abc``) or
+an out-of-range one (``-1`` where the knob needs a positive count)
+**degrades to the knob's documented default with a warning** instead of
+raising at whatever call site happened to read the environment first.
+A sweep should never abort — hours into a run — because a shell
+exported ``REPRO_WORKERS=many``.
+
+Knobs that are semantically "at least N" (worker counts) may instead
+*clamp* to their minimum, preserving the long-documented behaviour of
+``REPRO_WORKERS=0`` meaning serial.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+__all__ = ["env_int", "env_str", "EnvKnobWarning"]
+
+
+class EnvKnobWarning(UserWarning):
+    """A ``REPRO_*`` environment knob could not be honoured as given."""
+
+
+def env_str(name: str, default: str | None = None) -> str | None:
+    """The named knob's stripped value, or ``default`` when unset/blank."""
+    raw = os.environ.get(name, "").strip()
+    return raw if raw else default
+
+
+def env_int(
+    name: str,
+    default: int,
+    minimum: int | None = None,
+    clamp: bool = False,
+) -> int:
+    """Integer knob ``name``, degrading to ``default`` on bad input.
+
+    * unset or blank: ``default``, silently (not configured at all);
+    * unparsable (``REPRO_WORKERS=abc``): ``default``, with an
+      :class:`EnvKnobWarning`;
+    * below ``minimum``: ``minimum`` when ``clamp`` is set (the knob's
+      floor is part of its contract, e.g. worker counts clamp to 1),
+      otherwise ``default`` with a warning (the value is nonsense for
+      this knob, e.g. a negative cache capacity).
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"{name}={raw!r} is not an integer; "
+            f"using the default ({default})",
+            EnvKnobWarning,
+            stacklevel=2,
+        )
+        return default
+    if minimum is not None and value < minimum:
+        if clamp:
+            return minimum
+        warnings.warn(
+            f"{name}={value} is below the minimum ({minimum}); "
+            f"using the default ({default})",
+            EnvKnobWarning,
+            stacklevel=2,
+        )
+        return default
+    return value

@@ -81,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--store",
+        metavar="FILE",
+        default=None,
+        help=(
+            "sqlite result-store database serving (and durably "
+            "recording) sweep cells; overrides --cache "
+            "(default: $REPRO_STORE)"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print per-sweep-cell progress/timing lines to stderr",
@@ -134,6 +144,10 @@ def build_options(args: argparse.Namespace) -> ExecutionOptions:
         options.workers = max(1, args.workers)
     if args.cache is not None:
         options.cache = ResultCache(args.cache)
+    if getattr(args, "store", None):
+        from repro.store import SqliteResultStore
+
+        options.cache = SqliteResultStore(args.store)
     if args.progress:
         options.progress = make_progress_printer()
     tokens = {part for part in options.observe.split(",") if part}

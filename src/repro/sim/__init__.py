@@ -39,9 +39,11 @@ from repro.sim.simulator import Simulator, simulate
 from repro.sim.sweep import (
     SeedStudy,
     SweepResult,
+    memory_sweep_jobs,
     run_memory_sweep,
     run_seed_study,
     run_subpage_sweep,
+    subpage_sweep_jobs,
 )
 from repro.sim.tlb import TlbModel, TlbStats
 
@@ -73,6 +75,7 @@ __all__ = [
     "batch_eligible",
     "make_policy",
     "memory_pages_for",
+    "memory_sweep_jobs",
     "run_cells",
     "run_memory_sweep",
     "run_multi_workload",
@@ -80,4 +83,5 @@ __all__ = [
     "run_subpage_sweep",
     "simulate",
     "simulate_cells",
+    "subpage_sweep_jobs",
 ]

@@ -35,9 +35,13 @@ on:
   trace.
 
 Environment knobs: ``REPRO_WORKERS`` sets the default worker count,
-``REPRO_CACHE_DIR`` enables (and locates) the default result cache, and
-``REPRO_SHM`` controls the shared-memory arena (see
-:mod:`repro.sim.shm`).
+``REPRO_CACHE_DIR`` enables (and locates) the default flat-file result
+cache, ``REPRO_STORE`` selects the sqlite-backed
+:class:`repro.store.SqliteResultStore` instead (same keys, same
+protocol — see :mod:`repro.store`), and ``REPRO_SHM`` controls the
+shared-memory arena (see :mod:`repro.sim.shm`).  Malformed knob values
+degrade to the documented defaults with a warning
+(:mod:`repro.envknobs`).
 """
 
 from __future__ import annotations
@@ -52,6 +56,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
+from repro.envknobs import env_int, env_str
 from repro.errors import ConfigError
 from repro.sim import shm
 from repro.sim.config import SimulationConfig
@@ -65,6 +70,10 @@ ENV_WORKERS = "REPRO_WORKERS"
 
 #: Environment variable naming the default on-disk cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Environment variable naming a sqlite result-store path; when set it
+#: takes precedence over ``REPRO_CACHE_DIR`` (see :mod:`repro.store`).
+ENV_STORE = "REPRO_STORE"
 
 #: Environment variable naming a directory for per-experiment trace and
 #: metrics files (enables observability on CLI runs).
@@ -83,6 +92,29 @@ ENV_TRACE_DIR = "REPRO_TRACE_DIR"
 #: canonical recursive encoding (see :func:`config_fingerprint`), so
 #: every pre-v5 key is unreachable by construction.
 CACHE_VERSION = 5
+
+#: A ``*.tmp.<pid>`` file older than this is reaped regardless of
+#: whether its PID is alive: writers hold temp files for milliseconds,
+#: and a dead writer's PID can be recycled by an unrelated live
+#: process, so liveness alone would strand the file forever.
+STALE_TMP_AGE_S = 3600.0
+
+#: Exceptions a cache/store ``put`` swallows (counting ``puts_failed``)
+#: instead of failing the sweep.  I/O failures (``OSError``: disk full,
+#: read-only root) and serialization failures (``pickle.PicklingError``
+#: and the ``TypeError``/``AttributeError``/``ValueError`` pickle also
+#: raises for unpicklable objects, plus ``RecursionError`` and
+#: ``MemoryError`` on pathological payloads) all land here: the
+#: never-fail contract is about the *sweep*, not the entry.
+PUT_FAILURES = (
+    OSError,
+    pickle.PickleError,
+    TypeError,
+    AttributeError,
+    ValueError,
+    RecursionError,
+    MemoryError,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -147,22 +179,30 @@ ProgressCallback = Callable[[CellEvent], None]
 
 
 def default_workers() -> int:
-    """Worker count from ``REPRO_WORKERS`` (defaults to 1 = serial)."""
-    raw = os.environ.get(ENV_WORKERS, "").strip()
-    if not raw:
-        return 1
-    try:
-        workers = int(raw)
-    except ValueError:
-        raise ConfigError(
-            f"{ENV_WORKERS} must be an integer, got {raw!r}"
-        ) from None
-    return max(1, workers)
+    """Worker count from ``REPRO_WORKERS`` (defaults to 1 = serial).
+
+    Values below 1 clamp to serial; a malformed value degrades to the
+    default with a warning instead of aborting the sweep.
+    """
+    return env_int(ENV_WORKERS, 1, minimum=1, clamp=True)
 
 
 def default_cache() -> "ResultCache | None":
-    """Cache from ``REPRO_CACHE_DIR`` (``None`` disables caching)."""
-    raw = os.environ.get(ENV_CACHE_DIR, "").strip()
+    """The result cache the environment asks for (``None`` disables).
+
+    ``REPRO_STORE`` (a sqlite database path) selects the durable
+    :class:`repro.store.SqliteResultStore`; otherwise
+    ``REPRO_CACHE_DIR`` selects the flat-file :class:`ResultCache`.
+    Both implement the same get/put protocol and compute identical
+    content keys, so which one serves a sweep never changes its
+    results.
+    """
+    store_path = env_str(ENV_STORE)
+    if store_path:
+        from repro.store import SqliteResultStore
+
+        return SqliteResultStore(store_path)
+    raw = env_str(ENV_CACHE_DIR)
     return ResultCache(raw) if raw else None
 
 
@@ -253,15 +293,29 @@ def config_fingerprint(config: SimulationConfig) -> str | None:
     return ";".join(parts)
 
 
+def cell_cache_parts(
+    trace: RunTrace | TraceRef | TraceHandle, config: SimulationConfig
+) -> "tuple[str, str, str] | None":
+    """``(key, trace_fingerprint, config_fingerprint)`` for one cell.
+
+    ``None`` when the cell is uncacheable.  The key hashes
+    ``v{CACHE_VERSION}|trace_fp|config_fp``; the store keeps the two
+    fingerprints as provenance columns alongside the key.
+    """
+    cfg_fp = config_fingerprint(config)
+    if cfg_fp is None:
+        return None
+    trace_fp = trace_fingerprint(trace)
+    payload = f"v{CACHE_VERSION}|{trace_fp}|{cfg_fp}"
+    return hashlib.sha256(payload.encode()).hexdigest(), trace_fp, cfg_fp
+
+
 def cell_cache_key(
     trace: RunTrace | TraceRef | TraceHandle, config: SimulationConfig
 ) -> str | None:
     """Content key for one cell, or ``None`` when uncacheable."""
-    cfg_fp = config_fingerprint(config)
-    if cfg_fp is None:
-        return None
-    payload = f"v{CACHE_VERSION}|{trace_fingerprint(trace)}|{cfg_fp}"
-    return hashlib.sha256(payload.encode()).hexdigest()
+    parts = cell_cache_parts(trace, config)
+    return None if parts is None else parts[0]
 
 
 # -- on-disk result cache ---------------------------------------------------
@@ -276,11 +330,16 @@ class ResultCache:
     clear it wholesale.  Unreadable entries are treated as misses.
 
     Writes are atomic (``os.replace`` of a per-PID temp file) and never
-    fail a sweep: a put that cannot complete (disk full, read-only
-    cache dir) is counted on ``puts_failed`` and surfaced to the
-    progress stream as a ``"cache-error"`` :class:`CellEvent`.  Temp
-    files a crashed writer left behind (``kill -9`` mid-write) are
-    reaped on construction once their writing PID is dead.
+    fail a sweep: a put that cannot complete — whether the *write*
+    failed (disk full, read-only cache dir) or the *serialization* did
+    (an unpicklable payload, a ``RecursionError`` or ``MemoryError``
+    deep inside ``pickle``) — is counted on ``puts_failed``, leaves no
+    temp file behind, and is surfaced to the progress stream as a
+    ``"cache-error"`` :class:`CellEvent`.  Temp files a crashed writer
+    left behind (``kill -9`` mid-write) are reaped on construction once
+    their writing PID is dead, or unconditionally once they are older
+    than :data:`STALE_TMP_AGE_S` — a PID number can be recycled by an
+    unrelated live process, which must not strand the file forever.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -291,23 +350,36 @@ class ResultCache:
         self._reap_stale_tmp()
 
     def _reap_stale_tmp(self) -> None:
-        """Remove ``*.tmp.<pid>`` strandings of dead writer processes."""
+        """Remove ``*.tmp.<pid>`` strandings of dead writer processes.
+
+        A temp file lives for the milliseconds one ``pickle.dump`` +
+        ``os.replace`` takes, so anything older than
+        :data:`STALE_TMP_AGE_S` is stranded whatever its PID says —
+        PID liveness alone keeps a file forever when the dead writer's
+        PID has been recycled by an unrelated live process.
+        """
         if not self.root.is_dir():
             return
         try:
             candidates = list(self.root.glob("*/*.tmp.*"))
         except OSError:
             return
+        now = time.time()
         for tmp in candidates:
             try:
                 pid = int(tmp.name.rsplit(".", 1)[-1])
             except ValueError:
                 continue
             try:
-                if pid == os.getpid() or shm._pid_alive(pid):
-                    continue
-            except OverflowError:
+                fresh = now - tmp.stat().st_mtime < STALE_TMP_AGE_S
+            except OSError:
                 continue
+            if fresh:
+                try:
+                    if pid == os.getpid() or shm._pid_alive(pid):
+                        continue
+                except OverflowError:
+                    continue
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:
@@ -336,7 +408,12 @@ class ResultCache:
 
     def put(self, key: str, result: SimulationResult) -> bool:
         """Write ``result`` through; ``False`` (and a ``puts_failed``
-        bump) when the write could not complete."""
+        bump) when the write could not complete.
+
+        Catches serialization failures as well as I/O ones
+        (:data:`PUT_FAILURES`): a result that cannot pickle must cost
+        the sweep a cache entry, never the sweep.
+        """
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
@@ -344,7 +421,7 @@ class ResultCache:
             with tmp.open("wb") as fh:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
-        except OSError:
+        except PUT_FAILURES:
             self.puts_failed += 1
             try:
                 tmp.unlink(missing_ok=True)

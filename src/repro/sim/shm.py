@@ -138,14 +138,15 @@ def default_spill_dir() -> Path:
 
 
 def worker_cache_capacity() -> int:
-    """LRU capacity from ``REPRO_SHM_WORKER_CACHE`` (min 1)."""
-    raw = os.environ.get(ENV_WORKER_CACHE, "").strip()
-    if not raw:
-        return DEFAULT_WORKER_CACHE
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return DEFAULT_WORKER_CACHE
+    """LRU capacity from ``REPRO_SHM_WORKER_CACHE`` (default 8).
+
+    Malformed or non-positive values degrade to the default with a
+    warning (:mod:`repro.envknobs`): a capacity of ``-1`` is nonsense
+    for this knob, not a request for the minimum.
+    """
+    from repro.envknobs import env_int
+
+    return env_int(ENV_WORKER_CACHE, DEFAULT_WORKER_CACHE, minimum=1)
 
 
 # -- handles ----------------------------------------------------------------

@@ -7,6 +7,8 @@ those grids and return results keyed the way the figures are labelled.
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -58,34 +60,39 @@ class SweepResult:
     def totals_ms(self) -> dict[tuple[str, str], float]:
         return {key: r.total_ms for key, r in self.results.items()}
 
+    def to_csv(self) -> str:
+        """The grid as CSV (``memory,config,total_ms``), rows x columns.
 
-def run_subpage_sweep(
+        The exact format Figure 3's ``--csv`` export uses, and what the
+        sweep service serves over HTTP — one renderer, so "the service
+        CSV is byte-identical to the in-process sweep" is checkable
+        with ``==``.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(["memory", "config", "total_ms"])
+        writer.writerows(
+            (row, column, self.results[(row, column)].total_ms)
+            for row in self.rows
+            for column in self.columns
+            if (row, column) in self.results
+        )
+        return buffer.getvalue()
+
+
+def subpage_sweep_jobs(
     trace: RunTrace,
     base: SimulationConfig,
     subpage_sizes: list[int],
     memory_fractions: dict[str, float],
     include_baselines: bool = True,
-    *,
-    workers: int | None = None,
-    cache: ResultCache | None = None,
-    progress: ProgressCallback | None = None,
-    pool: WorkerPool | None = None,
-    batch: bool = False,
-) -> SweepResult:
-    """The Figure 3 grid: rows = memory configs, columns = schemes/sizes.
+) -> list[SweepJob]:
+    """The Figure 3 grid's cells, keyed ``(row_label, column_label)``.
 
-    Columns are, in the paper's order: ``disk_8192`` (fullpage faults from
-    disk), ``p_8192`` (fullpage from global memory), then ``sp_<size>``
-    (eager fullpage fetch) for each requested subpage size, largest first.
-
-    Cells route through :func:`repro.sim.parallel.run_cells`:
-    ``workers`` fans them out over processes (``None`` reads
-    ``REPRO_WORKERS``), ``cache`` skips cells already computed,
-    ``progress`` receives per-cell events, ``pool`` reuses a
-    persistent :class:`~repro.sim.parallel.WorkerPool`, and ``batch``
-    routes eligible cells through the cross-cell batched engine
-    (:mod:`repro.sim.batch`).  Results are identical at any worker
-    count and ``batch`` setting.
+    Shared by :func:`run_subpage_sweep` and the sweep service
+    (:mod:`repro.service`), so a spec submitted over HTTP builds
+    *exactly* the jobs an in-process sweep would — same configs, same
+    content keys, same incremental-recompute behaviour.
     """
     jobs: list[SweepJob] = []
     for row_label, fraction in memory_fractions.items():
@@ -128,6 +135,40 @@ def run_subpage_sweep(
                 trace=trace,
                 config=cfg,
             ))
+    return jobs
+
+
+def run_subpage_sweep(
+    trace: RunTrace,
+    base: SimulationConfig,
+    subpage_sizes: list[int],
+    memory_fractions: dict[str, float],
+    include_baselines: bool = True,
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    progress: ProgressCallback | None = None,
+    pool: WorkerPool | None = None,
+    batch: bool = False,
+) -> SweepResult:
+    """The Figure 3 grid: rows = memory configs, columns = schemes/sizes.
+
+    Columns are, in the paper's order: ``disk_8192`` (fullpage faults from
+    disk), ``p_8192`` (fullpage from global memory), then ``sp_<size>``
+    (eager fullpage fetch) for each requested subpage size, largest first.
+
+    Cells route through :func:`repro.sim.parallel.run_cells`:
+    ``workers`` fans them out over processes (``None`` reads
+    ``REPRO_WORKERS``), ``cache`` skips cells already computed,
+    ``progress`` receives per-cell events, ``pool`` reuses a
+    persistent :class:`~repro.sim.parallel.WorkerPool`, and ``batch``
+    routes eligible cells through the cross-cell batched engine
+    (:mod:`repro.sim.batch`).  Results are identical at any worker
+    count and ``batch`` setting.
+    """
+    jobs = subpage_sweep_jobs(
+        trace, base, subpage_sizes, memory_fractions, include_baselines
+    )
     results = run_cells(
         jobs, workers=workers, cache=cache, progress=progress, pool=pool,
         batch=batch,
@@ -201,6 +242,24 @@ def run_seed_study(
     return SeedStudy(improvements=tuple(improvements))
 
 
+def memory_sweep_jobs(
+    trace: RunTrace,
+    base: SimulationConfig,
+    memory_fractions: dict[str, float],
+) -> list[SweepJob]:
+    """One configuration across several memory sizes, keyed by label."""
+    return [
+        SweepJob(
+            key=label,
+            trace=trace,
+            config=base.with_overrides(
+                memory_pages=memory_pages_for(trace, fraction)
+            ),
+        )
+        for label, fraction in memory_fractions.items()
+    ]
+
+
 def run_memory_sweep(
     trace: RunTrace,
     base: SimulationConfig,
@@ -213,16 +272,7 @@ def run_memory_sweep(
     batch: bool = False,
 ) -> dict[str, SimulationResult]:
     """One configuration across several memory sizes."""
-    jobs = [
-        SweepJob(
-            key=label,
-            trace=trace,
-            config=base.with_overrides(
-                memory_pages=memory_pages_for(trace, fraction)
-            ),
-        )
-        for label, fraction in memory_fractions.items()
-    ]
+    jobs = memory_sweep_jobs(trace, base, memory_fractions)
     return run_cells(
         jobs, workers=workers, cache=cache, progress=progress, pool=pool,
         batch=batch,

@@ -17,6 +17,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.envknobs import EnvKnobWarning
 from repro.errors import ConfigError
 from repro.obs import MetricsRegistry
 from repro.sim import parallel
@@ -278,10 +279,37 @@ class TestEnvKnobs:
         monkeypatch.setenv("REPRO_WORKERS", "0")
         assert default_workers() == 1
 
-    def test_default_workers_invalid(self, monkeypatch):
+    def test_default_workers_invalid_degrades_with_warning(
+        self, monkeypatch
+    ):
         monkeypatch.setenv("REPRO_WORKERS", "many")
-        with pytest.raises(ConfigError):
-            default_workers()
+        with pytest.warns(EnvKnobWarning, match="REPRO_WORKERS"):
+            assert default_workers() == 1
+
+    def test_default_workers_negative_clamps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        assert default_workers() == 1
+
+    def test_worker_cache_invalid_degrades_with_warning(
+        self, monkeypatch
+    ):
+        from repro.sim.shm import (
+            DEFAULT_WORKER_CACHE,
+            worker_cache_capacity,
+        )
+
+        monkeypatch.setenv("REPRO_SHM_WORKER_CACHE", "abc")
+        with pytest.warns(
+            EnvKnobWarning, match="REPRO_SHM_WORKER_CACHE"
+        ):
+            assert worker_cache_capacity() == DEFAULT_WORKER_CACHE
+        monkeypatch.setenv("REPRO_SHM_WORKER_CACHE", "-1")
+        with pytest.warns(
+            EnvKnobWarning, match="REPRO_SHM_WORKER_CACHE"
+        ):
+            assert worker_cache_capacity() == DEFAULT_WORKER_CACHE
+        monkeypatch.setenv("REPRO_SHM_WORKER_CACHE", "3")
+        assert worker_cache_capacity() == 3
 
     def test_cache_dir_from_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -290,6 +318,16 @@ class TestEnvKnobs:
         assert options.cache.root == tmp_path
         monkeypatch.delenv("REPRO_CACHE_DIR")
         assert ExecutionOptions.from_env().cache is None
+
+    def test_store_env_wins_over_cache_dir(self, monkeypatch, tmp_path):
+        from repro.store import SqliteResultStore
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "flat"))
+        monkeypatch.setenv(
+            "REPRO_STORE", str(tmp_path / "results.sqlite")
+        )
+        options = ExecutionOptions.from_env()
+        assert isinstance(options.cache, SqliteResultStore)
 
 
 def matrix_jobs(trace):
@@ -671,3 +709,50 @@ class TestCacheFailureSurface:
     def test_missing_root_reaps_nothing(self, tmp_path):
         cache = ResultCache(tmp_path / "never-created")
         assert cache.puts_failed == 0
+
+    def test_reaps_old_tmp_even_when_pid_is_live(self, tmp_path):
+        """An hour-old tmp file is stranded whatever its PID says: the
+        dead writer's PID may have been recycled by a live process (here
+        stood in for by our own, definitely-live PID)."""
+        sub = tmp_path / "ab"
+        sub.mkdir()
+        old_tmp = sub / f"stranded.tmp.{os.getpid()}"
+        fresh_tmp = sub / f"inflight.tmp.{os.getpid()}"
+        for path in (old_tmp, fresh_tmp):
+            path.write_bytes(b"x")
+        stale = time.time() - parallel.STALE_TMP_AGE_S - 60
+        os.utime(old_tmp, (stale, stale))
+        ResultCache(tmp_path)
+        assert not old_tmp.exists()
+        assert fresh_tmp.exists()
+
+    def test_unpicklable_result_mid_sweep_never_fails(
+        self, trace, tmp_path, monkeypatch
+    ):
+        """The satellite regression: a result whose payload cannot
+        pickle must cost a cache entry (counted + reported), never the
+        sweep — and must not strand its temp file."""
+
+        def poison_execute(job_trace, config):
+            result, elapsed = _REAL_EXECUTE(job_trace, config)
+            if config.subpage_bytes == 1024:
+                result.link_stats["callback"] = lambda: None
+            return result, elapsed
+
+        monkeypatch.setattr(parallel, "_execute", poison_execute)
+        cache = ResultCache(tmp_path)
+        jobs = make_jobs(trace, sizes=(2048, 1024))
+        events: list[CellEvent] = []
+        out = run_cells(jobs, workers=1, cache=cache,
+                        progress=events.append)
+        assert out["sp_1024"].total_faults > 0
+        assert out["sp_2048"].total_faults > 0
+        assert cache.puts_failed == 1
+        kinds = [e.status for e in events]
+        assert kinds.count("done") == 2
+        assert kinds.count("cache-error") == 1
+        error = next(e for e in events if e.status == "cache-error")
+        assert error.key == "sp_1024"
+        assert not list(tmp_path.glob("*/*.tmp.*"))
+        # The healthy sibling still cached.
+        assert len(list(tmp_path.glob("*/*.pkl"))) == 1

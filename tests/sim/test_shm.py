@@ -166,10 +166,16 @@ class TestEnvKnobs:
         assert worker_cache_capacity() == shm.DEFAULT_WORKER_CACHE
         monkeypatch.setenv(shm.ENV_WORKER_CACHE, "3")
         assert worker_cache_capacity() == 3
+        # Out-of-range and unparsable values degrade to the documented
+        # default with a warning (see repro.envknobs).
+        from repro.envknobs import EnvKnobWarning
+
         monkeypatch.setenv(shm.ENV_WORKER_CACHE, "0")
-        assert worker_cache_capacity() == 1
+        with pytest.warns(EnvKnobWarning):
+            assert worker_cache_capacity() == shm.DEFAULT_WORKER_CACHE
         monkeypatch.setenv(shm.ENV_WORKER_CACHE, "lots")
-        assert worker_cache_capacity() == shm.DEFAULT_WORKER_CACHE
+        with pytest.warns(EnvKnobWarning):
+            assert worker_cache_capacity() == shm.DEFAULT_WORKER_CACHE
 
 
 @pytest.mark.skipif(not HAVE_DEV_SHM, reason="needs /dev/shm")

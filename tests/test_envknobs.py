@@ -1,0 +1,52 @@
+"""The shared environment-knob parser: degrade, clamp, never raise."""
+
+import pytest
+
+from repro.envknobs import EnvKnobWarning, env_int, env_str
+
+KNOB = "REPRO_TEST_KNOB"
+
+
+class TestEnvStr:
+    def test_unset_gives_default(self, monkeypatch):
+        monkeypatch.delenv(KNOB, raising=False)
+        assert env_str(KNOB) is None
+        assert env_str(KNOB, "fallback") == "fallback"
+
+    def test_blank_counts_as_unset(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "   ")
+        assert env_str(KNOB, "fallback") == "fallback"
+
+    def test_value_is_stripped(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "  /some/path  ")
+        assert env_str(KNOB) == "/some/path"
+
+
+class TestEnvInt:
+    def test_unset_is_silent_default(self, monkeypatch):
+        monkeypatch.delenv(KNOB, raising=False)
+        assert env_int(KNOB, 7) == 7
+
+    def test_valid_value_parses(self, monkeypatch):
+        monkeypatch.setenv(KNOB, " 12 ")
+        assert env_int(KNOB, 7) == 12
+
+    def test_unparsable_warns_and_defaults(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "many")
+        with pytest.warns(EnvKnobWarning, match="not an integer"):
+            assert env_int(KNOB, 7) == 7
+
+    def test_below_minimum_warns_and_defaults(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "-1")
+        with pytest.warns(EnvKnobWarning, match="below the minimum"):
+            assert env_int(KNOB, 7, minimum=1) == 7
+
+    def test_below_minimum_clamps_silently_when_asked(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(KNOB, "0")
+        assert env_int(KNOB, 7, minimum=1, clamp=True) == 1
+
+    def test_at_minimum_passes(self, monkeypatch):
+        monkeypatch.setenv(KNOB, "1")
+        assert env_int(KNOB, 7, minimum=1) == 1
