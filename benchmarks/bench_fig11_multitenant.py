@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure MT (multi-tenant contention: per-tenant tail latency and fairness).
+
+Run with ``pytest benchmarks/bench_fig11_multitenant.py --benchmark-only``;
+the per-tenant slowdown/p99 grid is printed alongside the timing.
+"""
+
+from repro.experiments import fig11_multitenant
+
+
+def test_fig11_multitenant(report):
+    """Regenerate and print the multi-tenant contention grid."""
+    report(fig11_multitenant.run, fig11_multitenant.render)

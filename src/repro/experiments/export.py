@@ -222,6 +222,35 @@ def _export_figAX(result) -> dict[str, str]:
     }
 
 
+def _export_figMT(result) -> dict[str, str]:
+    rows = [
+        (
+            r.tenants,
+            r.scheme,
+            r.subpage_bytes,
+            r.tenant,
+            r.faults,
+            r.p50_ms,
+            r.p99_ms,
+            r.mean_ms,
+            r.total_ms,
+            r.slowdown,
+            r.fairness,
+            r.cross_queueing_ms,
+            r.cross_preemption_ms,
+        )
+        for r in result.rows
+    ]
+    return {
+        "figMT_multitenant.csv": _csv(
+            ["tenants", "scheme", "subpage_bytes", "tenant", "faults",
+             "p50_ms", "p99_ms", "mean_ms", "total_ms", "slowdown",
+             "fairness", "cross_queueing_ms", "cross_preemption_ms"],
+            rows,
+        )
+    }
+
+
 def _export_scorecard(result) -> dict[str, str]:
     rows = [
         (
@@ -259,6 +288,7 @@ _EXPORTERS: dict[str, Callable[[Any], dict[str, str]]] = {
     "fig09": _export_fig09,
     "fig10": _export_fig10,
     "figAX": _export_figAX,
+    "figMT": _export_figMT,
 }
 
 

@@ -1,0 +1,216 @@
+"""Figure MT (extension): subpage pipelining under multi-tenant contention.
+
+Not a figure from the paper — the experiment ROADMAP item 3 asks for and
+the 1996 study could not produce: N tenants faulting *concurrently*
+against one shared GMS cluster (:mod:`repro.sim.multitenant`), their
+subpage pipelines colliding on a shared fabric, judged on per-tenant
+tail latency (p50/p99), slowdown against a solo baseline, and a
+max/min-slowdown fairness gauge (:mod:`repro.obs.tenants`).
+
+The grid is tenant count x fetch scheme x subpage size.  Each tenant
+runs a distinctly-seeded scaled-down gdb workload (the paper's most
+latency-sensitive app) at half-footprint memory; baselines are the same
+tenant workload run solo on the same cluster layout.  The question the
+grid answers: does pipelining's single-tenant win survive when the
+background subpage streams of N tenants share the wire — or does the
+extra background traffic hurt the tail more than the overlap helps?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any
+
+from repro.analysis.report import format_table
+from repro.obs.tenants import TenantLatencyReport
+from repro.sim.multinode import NodeWorkload
+from repro.sim.multitenant import MultiTenantResult, run_multi_tenant
+from repro.trace.synth.apps import build_app_trace
+
+TENANT_COUNTS: tuple[int, ...] = (1, 2, 4)
+SCHEMES: tuple[str, ...] = ("eager", "pipelined")
+SUBPAGE_SIZES: tuple[int, ...] = (4096, 1024)
+
+#: Scale factor for the per-tenant gdb traces: keeps the full grid (28
+#: tenant simulations) inside the tier-1 budget while leaving hundreds
+#: of faults per tenant for the tail estimates.
+TRACE_SCALE = 0.1
+
+#: Idle nodes supplying the shared global cache.
+IDLE_NODES = 2
+
+_SEED = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FigMTRow:
+    """One tenant's outcome inside one grid cell."""
+
+    tenants: int
+    scheme: str
+    subpage_bytes: int
+    tenant: str
+    faults: int
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    total_ms: float
+    slowdown: float
+    #: Cell-level fairness (max/min slowdown), repeated on each row.
+    fairness: float
+    cross_queueing_ms: float
+    cross_preemption_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class FigMTResult:
+    rows: list[FigMTRow]
+    #: Tenant-metrics JSON (``repro.obs.tenants/v1``) for the most
+    #: contended cell — max tenants, pipelined, smallest subpage; what
+    #: the CI smoke job validates.
+    tenant_metrics: dict[str, Any]
+
+    def cell(
+        self, tenants: int, scheme: str, subpage_bytes: int
+    ) -> list[FigMTRow]:
+        return [
+            r for r in self.rows
+            if r.tenants == tenants and r.scheme == scheme
+            and r.subpage_bytes == subpage_bytes
+        ]
+
+
+@lru_cache(maxsize=8)
+def _tenant_trace(index: int):
+    return build_app_trace("gdb", seed=_SEED + index, scale=TRACE_SCALE)
+
+
+def _workload(index: int, scheme: str, subpage_bytes: int) -> NodeWorkload:
+    trace = _tenant_trace(index)
+    return NodeWorkload(
+        name=f"t{index}",
+        trace=trace,
+        memory_pages=max(4, trace.footprint_pages() // 2),
+        scheme=scheme,
+        subpage_bytes=subpage_bytes,
+    )
+
+
+@lru_cache(maxsize=64)
+def _solo_total_ms(index: int, scheme: str, subpage_bytes: int) -> float:
+    """The tenant's solo runtime on the same cluster layout (the
+    slowdown denominator)."""
+    solo = run_multi_tenant(
+        [_workload(index, scheme, subpage_bytes)],
+        idle_nodes=IDLE_NODES, seed=_SEED,
+    )
+    return solo.per_tenant[f"t{index}"].total_ms
+
+
+def _run_cell(
+    tenants: int, scheme: str, subpage_bytes: int
+) -> tuple[MultiTenantResult, TenantLatencyReport]:
+    workloads = [
+        _workload(i, scheme, subpage_bytes) for i in range(tenants)
+    ]
+    result = run_multi_tenant(
+        workloads, idle_nodes=IDLE_NODES, seed=_SEED
+    )
+    baselines = {
+        f"t{i}": _solo_total_ms(i, scheme, subpage_bytes)
+        for i in range(tenants)
+    }
+    return result, result.latency_report(baselines)
+
+
+def run() -> FigMTResult:
+    rows: list[FigMTRow] = []
+    tenant_metrics: dict[str, Any] = {}
+    for tenants in TENANT_COUNTS:
+        for scheme in SCHEMES:
+            for subpage_bytes in SUBPAGE_SIZES:
+                result, report = _run_cell(
+                    tenants, scheme, subpage_bytes
+                )
+                fairness = report.fairness()
+                for name, latency in report.tenants.items():
+                    cross = result.cross_stats.get(name, {})
+                    rows.append(FigMTRow(
+                        tenants=tenants,
+                        scheme=scheme,
+                        subpage_bytes=subpage_bytes,
+                        tenant=name,
+                        faults=latency.faults,
+                        p50_ms=latency.p50_ms,
+                        p99_ms=latency.p99_ms,
+                        mean_ms=latency.mean_ms,
+                        total_ms=latency.total_ms,
+                        slowdown=latency.slowdown or 1.0,
+                        fairness=fairness,
+                        cross_queueing_ms=cross.get(
+                            "cross_queueing_delay_ms", 0.0
+                        ),
+                        cross_preemption_ms=cross.get(
+                            "cross_preemption_delay_ms", 0.0
+                        ),
+                    ))
+                if (
+                    tenants == max(TENANT_COUNTS)
+                    and scheme == "pipelined"
+                    and subpage_bytes == min(SUBPAGE_SIZES)
+                ):
+                    tenant_metrics = report.summary()
+    return FigMTResult(rows=rows, tenant_metrics=tenant_metrics)
+
+
+def _cell_aggregate(rows: list[FigMTRow]) -> tuple[float, float, float]:
+    """Mean slowdown, worst p99, fairness over one cell's tenants."""
+    slowdown = sum(r.slowdown for r in rows) / len(rows)
+    p99 = max(r.p99_ms for r in rows)
+    return slowdown, p99, rows[0].fairness
+
+
+def render(result: FigMTResult) -> str:
+    table_rows = []
+    for tenants in TENANT_COUNTS:
+        for subpage_bytes in SUBPAGE_SIZES:
+            for scheme in SCHEMES:
+                cell = result.cell(tenants, scheme, subpage_bytes)
+                slowdown, p99, fairness = _cell_aggregate(cell)
+                table_rows.append((
+                    str(tenants),
+                    scheme,
+                    str(subpage_bytes),
+                    f"{slowdown:.2f}x",
+                    f"{p99:.2f}",
+                    f"{fairness:.2f}",
+                ))
+    table = format_table(
+        ["tenants", "scheme", "subpage", "mean slowdown", "worst p99 ms",
+         "fairness"],
+        table_rows,
+        title=(
+            "Figure MT (extension): per-tenant slowdown and tail "
+            "latency under contention (gdb tenants, 1/2-mem)"
+        ),
+    )
+
+    # Pipelining's win under contention: eager vs pipelined total time
+    # at each tenant count (1K subpages, the paper's headline size).
+    notes = [""]
+    for tenants in TENANT_COUNTS:
+        eager = sum(
+            r.total_ms
+            for r in result.cell(tenants, "eager", min(SUBPAGE_SIZES))
+        )
+        pipe = sum(
+            r.total_ms
+            for r in result.cell(tenants, "pipelined", min(SUBPAGE_SIZES))
+        )
+        win = 1.0 - pipe / eager if eager > 0 else 0.0
+        notes.append(
+            f"pipelining win at {tenants} tenant(s), "
+            f"{min(SUBPAGE_SIZES)}B subpages: {win * 100:.1f}%"
+        )
+    return table + "\n".join(notes)

@@ -20,6 +20,7 @@ from repro.experiments import (
     fig08_pipelining,
     fig09_allapps,
     fig10_gdb_atom,
+    fig11_multitenant,
     figAX_adaptive,
     tab01_palcode,
     tab02_latencies,
@@ -131,6 +132,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Adaptive fetch policy vs static pipelining (extension)",
             figAX_adaptive.run,
             figAX_adaptive.render,
+        ),
+        Experiment(
+            "figMT",
+            "Multi-tenant contention: tail latency and fairness "
+            "(extension)",
+            fig11_multitenant.run,
+            fig11_multitenant.render,
         ),
         Experiment(
             "scorecard",

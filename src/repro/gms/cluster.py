@@ -90,24 +90,54 @@ class Cluster:
         self.stats = ClusterStats()
         self._dirty: set[PageUid] = set()
         self._ins = instrument
+        #: How many times the POD/GCD were rebuilt (each rebuild rehashes
+        #: every placement, so construction cost is rebuilds x entries).
+        self.directory_rebuilds = 0
 
     # -- construction ------------------------------------------------------
 
     def add_node(self, capacity: int) -> Node:
         """Add a node; invalidates and rebuilds the directories."""
-        node_id = len(self._nodes)
-        node = Node(node_id, capacity)
-        self._nodes[node_id] = node
+        return self.add_nodes([capacity])[0]
+
+    def add_nodes(self, capacities: list[int]) -> list[Node]:
+        """Add several nodes with a single directory rebuild at the end.
+
+        ``add_node`` rehashes the POD and re-inserts every directory
+        entry per call, which makes an N-node cluster O(N^2) to
+        construct; batching the adds keeps the figMT 256-node setup
+        linear.  The resulting cluster state is identical to N
+        ``add_node`` calls.
+        """
+        added: list[Node] = []
+        for capacity in capacities:
+            node_id = len(self._nodes)
+            node = Node(node_id, capacity)
+            self._nodes[node_id] = node
+            added.append(node)
+        if added:
+            self._rebuild_directories()
+        return added
+
+    def _rebuild_directories(self) -> None:
+        """Rehash the POD over the current nodes and rebuild the GCD.
+
+        Entries are carried over from the previous GCD (not re-scanned
+        from node placements) so the authoritative holder of a shared
+        page survives the rebuild — a placement scan would re-point the
+        entry at whichever copy the scan visited last.  Copysets are
+        carried over with them.
+        """
         self._pod = PageOwnershipDirectory(list(self._nodes))
-        # Rebuild the GCD (the POD hash changed), re-inserting placements.
-        placements = []
-        for n in self._nodes.values():
-            for uid, _ in n.page_ages():
-                placements.append((uid, n.node_id))
+        old = self._gcd
         self._gcd = GlobalCacheDirectory(self._pod)
-        for uid, holder in placements:
+        self.directory_rebuilds += 1
+        if old is None:
+            return
+        for uid, holder in old.entries():
             self._gcd.update(uid, holder)
-        return node
+            for sharer in old.sharers(uid):
+                self._gcd.add_sharer(uid, sharer)
 
     @property
     def nodes(self) -> dict[NodeId, Node]:
@@ -235,6 +265,26 @@ class Cluster:
         self.stats.messages += count
         return count
 
+    def _ensure_frame(self, node: Node) -> None:
+        """Make room for an incoming local page on a full node.
+
+        Under multi-tenant interleaving another tenant's putpages can
+        fill an *active* node's spare frames with hosted global pages;
+        when a fault then fills a local page, GMS displaces the oldest
+        hosted global page first (local pressure beats hosting).  The
+        displaced page leaves through the standard :meth:`putpage`
+        machinery, so forwarding, discard, and message accounting all
+        apply.  No-op when a frame is free or the node hosts no global
+        pages (a node genuinely full of local pages still fails
+        ``add_local``'s capacity check).
+        """
+        if node.free_frames > 0:
+            return
+        victim = node.oldest_global()
+        if victim is None:
+            return
+        self.putpage(node.node_id, victim, age=node.global_age(victim))
+
     def _observe_get(self, location: PageLocation) -> None:
         if self._ins is not None:
             self._ins.counter(f"gms_getpage_{location.name.lower()}")
@@ -257,6 +307,7 @@ class Cluster:
             # Directory miss: page only exists on disk.
             self.stats.disk_fills += 1
             messages += self._msg(manager, requester)
+            self._ensure_frame(req_node)
             req_node.add_local(uid, now)
             self.directory.update(uid, requester)
             self._observe_get(PageLocation.DISK)
@@ -282,7 +333,9 @@ class Cluster:
             # correctness relies on shared pages being read-only (code).
             self.stats.shared_copies += 1
             messages += self._msg(holder_id, requester)
+            self._ensure_frame(req_node)
             req_node.add_local(uid, now)
+            self.directory.add_sharer(uid, requester)
             self.stats.remote_hits += 1
             self._observe_get(PageLocation.REMOTE_MEMORY)
             return GetPageResult(
@@ -294,6 +347,7 @@ class Cluster:
                 f"does not"
             )
         messages += self._msg(holder_id, requester)
+        self._ensure_frame(req_node)
         req_node.add_local(uid, now)
         self.directory.update(uid, requester)
         self.stats.remote_hits += 1
@@ -339,16 +393,19 @@ class Cluster:
                 # would become invisible to where_is) — or crash
                 # outright when the forward target already holds the
                 # page.  Just drop the copy.
+                self.directory.remove_sharer(uid, evicting)
                 self.stats.discards += 1
                 return None
-            if holder_id == evicting and self.stats.shared_copies:
+            if holder_id == evicting:
                 # The canonical holder is evicting a page other nodes
                 # may still hold copies of: promote a surviving copy to
                 # canonical instead of dropping the page to disk, so no
-                # local copy is ever directory-orphaned.
-                for node in self._nodes.values():
-                    if node.node_id != evicting and node.holds(uid):
-                        self.directory.update(uid, node.node_id)
+                # local copy is ever directory-orphaned.  The directory
+                # copyset makes this O(copies) rather than a scan over
+                # every node in the cluster.
+                for sharer_id in self.directory.sharers(uid):
+                    if self.node(sharer_id).holds(uid):
+                        self.directory.update(uid, sharer_id)
                         self._msg(
                             evicting, self.directory.pod.manager_of(uid)
                         )
@@ -380,13 +437,22 @@ class Cluster:
         return target_id
 
     def _to_disk(self, uid: PageUid, from_node: NodeId) -> None:
-        """Drop a page from the global cache (writing back if dirty)."""
+        """Drop a page from the global cache (writing back if dirty).
+
+        Charges the same protocol messages every other path pays: a
+        writeback to the page's origin node (whose disk backs it) when
+        dirty, and a directory-removal notice to the page's manager when
+        an entry exists.  Both are free when ``from_node`` is already
+        the destination, matching ``_msg``'s self-send rule.
+        """
         if uid in self._dirty:
             self.stats.disk_writebacks += 1
             self._dirty.discard(uid)
+            self._msg(from_node, uid.origin)
         else:
             self.stats.discards += 1
         if self.directory.contains(uid):
+            self._msg(from_node, self.directory.pod.manager_of(uid))
             self.directory.remove(uid)
 
     # -- introspection ---------------------------------------------------

@@ -58,6 +58,7 @@ class GlobalCacheDirectory:
         self._shards: dict[NodeId, dict[PageUid, NodeId]] = {
             node: {} for node in pod.nodes
         }
+        self._sharers: dict[PageUid, set[NodeId]] = {}
         self.stats: dict[NodeId, DirectoryStats] = {
             node: DirectoryStats() for node in pod.nodes
         }
@@ -95,6 +96,12 @@ class GlobalCacheDirectory:
         manager, shard = self._shard_for(uid)
         shard[uid] = holder
         self.stats[manager].updates += 1
+        sharers = self._sharers.get(uid)
+        if sharers is not None:
+            # The authoritative holder is not also a secondary sharer.
+            sharers.discard(holder)
+            if not sharers:
+                del self._sharers[uid]
         return manager
 
     def remove(self, uid: PageUid) -> None:
@@ -103,7 +110,38 @@ class GlobalCacheDirectory:
         if uid not in shard:
             raise PageNotFoundError(f"directory has no entry for {uid}")
         del shard[uid]
+        self._sharers.pop(uid, None)
         self.stats[manager].removals += 1
+
+    def add_sharer(self, uid: PageUid, node: NodeId) -> None:
+        """Record that ``node`` holds a secondary (shared) copy of ``uid``.
+
+        The copyset lets ``Cluster.putpage`` promote a surviving copy in
+        O(copies) instead of scanning every node in the cluster.  The
+        authoritative holder is tracked in the shard map, never here.
+        """
+        manager, shard = self._shard_for(uid)
+        if shard.get(uid) == node:
+            return
+        self._sharers.setdefault(uid, set()).add(node)
+
+    def remove_sharer(self, uid: PageUid, node: NodeId) -> None:
+        """Forget ``node``'s secondary copy of ``uid`` (if recorded)."""
+        sharers = self._sharers.get(uid)
+        if sharers is None:
+            return
+        sharers.discard(node)
+        if not sharers:
+            del self._sharers[uid]
+
+    def sharers(self, uid: PageUid) -> tuple[NodeId, ...]:
+        """Nodes holding secondary copies of ``uid``, ascending."""
+        return tuple(sorted(self._sharers.get(uid, ())))
+
+    def entries(self):
+        """Iterate ``(uid, holder)`` over every authoritative entry."""
+        for shard in self._shards.values():
+            yield from shard.items()
 
     def total_entries(self) -> int:
         return sum(len(s) for s in self._shards.values())

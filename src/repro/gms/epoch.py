@@ -118,8 +118,15 @@ class EpochManager:
     def should_discard(
         self, nodes: dict[NodeId, Node], page_age: float
     ) -> bool:
-        """Is a page this old among the globally oldest (just drop it)?"""
+        """Is a page this old among the globally oldest (just drop it)?
+
+        Discard decisions count toward ``max_epoch_operations``: a
+        discard consumes epoch budget just like a forward, so a
+        discard-heavy putpage stream still forces recomputation instead
+        of comparing against a stale ``discard_age_threshold`` forever.
+        """
         plan = self._ensure_plan(nodes)
+        self._operations += 1
         return page_age <= plan.discard_age_threshold
 
     def choose_target(

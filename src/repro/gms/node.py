@@ -140,6 +140,15 @@ class Node:
             return None
         return min(self._global, key=self._global.__getitem__)
 
+    def global_age(self, uid: PageUid) -> float:
+        """The recorded age of a hosted global page."""
+        try:
+            return self._global[uid]
+        except KeyError:
+            raise GmsError(
+                f"node {self.node_id} has no global {uid}"
+            ) from None
+
     def evict_oldest_global(self) -> PageUid:
         uid = self.oldest_global()
         if uid is None:

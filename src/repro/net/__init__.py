@@ -23,7 +23,7 @@ from repro.net.calibration import (
     fit_timeline_params,
     table2_derived_columns,
 )
-from repro.net.congestion import LinkModel, PendingArrivals
+from repro.net.congestion import CrossTraffic, LinkModel, PendingArrivals
 from repro.net.latency import (
     AnalyticLatencyModel,
     CalibratedLatencyModel,
@@ -43,6 +43,7 @@ __all__ = [
     "AN2_ATM",
     "AnalyticLatencyModel",
     "CalibratedLatencyModel",
+    "CrossTraffic",
     "ETHERNET_IDLE",
     "ETHERNET_LOADED",
     "FetchTimeline",

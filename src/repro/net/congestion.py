@@ -88,12 +88,30 @@ class LinkModel:
     An optional :class:`~repro.obs.instrument.Instrument` receives an
     ``on_transfer`` event per demand/background transfer; ``None`` (the
     default) costs a single branch per transfer.
+
+    An optional :class:`CrossTraffic` ``fabric`` couples several tenants'
+    links through one shared wire: every transfer this link carries is
+    echoed to the other registered links (their background traffic
+    queues behind it), and their transfers land here via
+    :meth:`preempt_external` / :meth:`occupy_external`.  Without a
+    fabric the behavior is exactly the single-tenant model.
     """
 
-    def __init__(self, instrument: "Instrument | None" = None) -> None:
+    def __init__(
+        self,
+        instrument: "Instrument | None" = None,
+        fabric: "CrossTraffic | None" = None,
+        label: str | None = None,
+    ) -> None:
         self._busy_until = 0.0
+        #: What ``_busy_until`` would be from this tenant's own traffic
+        #: alone; the gap between the two at schedule time is the share
+        #: of queueing delay attributable to cross-traffic.
+        self._own_busy_until = 0.0
         self._in_flight: list[PendingArrivals] = []
         self._ins = instrument
+        self._fabric: CrossTraffic | None = None
+        self.label = label
         #: Total background delay added by queueing (for diagnostics).
         self.total_queueing_delay_ms = 0.0
         #: Total delay pushed onto background transfers by demand traffic.
@@ -101,6 +119,13 @@ class LinkModel:
         #: Counts of transfers seen.
         self.demand_transfers = 0
         self.background_transfers = 0
+        #: Interference *received* from other tenants' traffic.
+        self.cross_preempts = 0
+        self.cross_occupies = 0
+        self.cross_preemption_delay_ms = 0.0
+        self.cross_queueing_delay_ms = 0.0
+        if fabric is not None:
+            fabric.register(self)
 
     def _reap(self, now_ms: float) -> None:
         self._in_flight = [
@@ -128,6 +153,12 @@ class LinkModel:
             # The preempted background traffic finishes later too.
             self._busy_until += wire_ms
         self._busy_until = max(self._busy_until, ready_ms + wire_ms)
+        if self._fabric is not None:
+            if self._own_busy_until > ready_ms:
+                self._own_busy_until += wire_ms
+            self._own_busy_until = max(self._own_busy_until,
+                                       ready_ms + wire_ms)
+            self._fabric.on_demand(self, ready_ms, wire_ms)
         if self._ins is not None:
             self._ins.on_transfer(
                 "demand", ready_ms, ready_ms + wire_ms, page=page
@@ -157,6 +188,16 @@ class LinkModel:
             self.total_queueing_delay_ms += delay
         pending.wire_end_ms = max(pending.wire_end_ms, start + wire_ms)
         self._busy_until = start + wire_ms
+        if self._fabric is not None:
+            if delay > 0:
+                # The share of the wait this tenant's own traffic cannot
+                # explain was inflicted by cross-traffic on the fabric.
+                own_start = max(ready_ms, self._own_busy_until)
+                self.cross_queueing_delay_ms += start - own_start
+            self._own_busy_until = (
+                max(ready_ms, self._own_busy_until) + wire_ms
+            )
+            self._fabric.on_background(self, start, start + wire_ms)
         self._in_flight.append(pending)
         if self._ins is not None:
             self._ins.on_transfer(
@@ -165,6 +206,99 @@ class LinkModel:
             )
         return delay
 
+    # -- cross-traffic (shared fabric) ------------------------------------
+
+    def preempt_external(self, ready_ms: float, wire_ms: float) -> None:
+        """Another tenant's demand transfer claims the shared fabric.
+
+        Same effect as a local demand transfer — in-flight background
+        arrivals after its start slide back and the wire stays occupied
+        — but the delay is attributed to ``cross_preemption_delay_ms``
+        and the tenant's own counters are untouched.
+        """
+        if wire_ms < 0:
+            raise SimulationError("wire time cannot be negative")
+        self.cross_preempts += 1
+        self._reap(ready_ms)
+        for pending in self._in_flight:
+            before = pending.wire_end_ms
+            pending.shift_after(ready_ms, wire_ms)
+            self.cross_preemption_delay_ms += pending.wire_end_ms - before
+        if self._busy_until > ready_ms:
+            self._busy_until += wire_ms
+        self._busy_until = max(self._busy_until, ready_ms + wire_ms)
+
+    def occupy_external(self, end_ms: float) -> None:
+        """Another tenant's background transfer holds the fabric to
+        ``end_ms``; this tenant's later background traffic queues behind
+        it (in-flight schedules are not shifted — background traffic
+        shares the wire FIFO)."""
+        self.cross_occupies += 1
+        if end_ms > self._busy_until:
+            self._busy_until = end_ms
+
+    def cross_stats(self) -> dict[str, float]:
+        """Interference received from other tenants on the fabric."""
+        return {
+            "cross_preempts": self.cross_preempts,
+            "cross_occupies": self.cross_occupies,
+            "cross_preemption_delay_ms": self.cross_preemption_delay_ms,
+            "cross_queueing_delay_ms": self.cross_queueing_delay_ms,
+        }
+
     @property
     def busy_until_ms(self) -> float:
         return self._busy_until
+
+
+class CrossTraffic:
+    """Shared-fabric coupling between the links of concurrent tenants.
+
+    Registered links echo every transfer they carry to the fabric, which
+    replays it onto every *other* registered link: demand transfers
+    preempt (:meth:`LinkModel.preempt_external`), background transfers
+    occupy (:meth:`LinkModel.occupy_external`).  With a single
+    registered link the fabric is inert, so the one-tenant interleaved
+    run stays bit-identical to the sequential path.
+
+    Per-tenant attribution: each link's ``cross_stats()`` reports the
+    interference it *received*; :attr:`injected_ms` reports the wire
+    time each labelled tenant *caused* on other tenants' links.
+    """
+
+    def __init__(self) -> None:
+        self._links: list[LinkModel] = []
+        #: Wire-time each labelled source pushed onto other links, ms.
+        self.injected_ms: dict[str, float] = {}
+
+    def register(self, link: LinkModel) -> None:
+        self._links.append(link)
+        link._fabric = self
+
+    def _attribute(self, source: LinkModel, wire_ms: float,
+                   others: int) -> None:
+        if others and source.label is not None:
+            self.injected_ms[source.label] = (
+                self.injected_ms.get(source.label, 0.0)
+                + wire_ms * others
+            )
+
+    def on_demand(
+        self, source: LinkModel, ready_ms: float, wire_ms: float
+    ) -> None:
+        others = 0
+        for link in self._links:
+            if link is not source:
+                link.preempt_external(ready_ms, wire_ms)
+                others += 1
+        self._attribute(source, wire_ms, others)
+
+    def on_background(
+        self, source: LinkModel, start_ms: float, end_ms: float
+    ) -> None:
+        others = 0
+        for link in self._links:
+            if link is not source:
+                link.occupy_external(end_ms)
+                others += 1
+        self._attribute(source, end_ms - start_ms, others)

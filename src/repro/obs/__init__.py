@@ -13,7 +13,9 @@ fault path into data instead of aggregates:
 * :mod:`repro.obs.export` — exporters for experiments that do not run
   the simulator (Figure 2 timelines);
 * :mod:`repro.obs.validate` — structural validation of the emitted
-  artifacts, shared by tests and CI.
+  artifacts, shared by tests and CI;
+* :mod:`repro.obs.tenants` — per-tenant fault-latency tails (p50/p99)
+  and the fairness gauge for multi-tenant runs.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and metric names.
 """
@@ -31,6 +33,12 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     write_metrics,
+)
+from repro.obs.tenants import (
+    TENANT_METRICS_SCHEMA,
+    TenantLatency,
+    TenantLatencyReport,
+    validate_tenant_metrics,
 )
 from repro.obs.tracing import (
     TRACE_SCHEMA,
@@ -50,11 +58,15 @@ __all__ = [
     "MetricsRegistry",
     "OBSERVE_TOKENS",
     "Recorder",
+    "TENANT_METRICS_SCHEMA",
     "TRACE_SCHEMA",
+    "TenantLatency",
+    "TenantLatencyReport",
     "TraceWriter",
     "chrome_trace",
     "combine_groups",
     "parse_observe_spec",
+    "validate_tenant_metrics",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics",

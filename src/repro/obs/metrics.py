@@ -91,6 +91,39 @@ class Histogram:
     def mean(self) -> float:
         return 0.0 if not self.count else self.total / self.count
 
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the bucket counts.
+
+        Linearly interpolates inside the bucket containing the target
+        rank, clamping to the observed ``min``/``max``; ranks landing in
+        the overflow bucket report ``max``.  Exact enough for tail
+        reporting (p50/p99) at the DEFAULT_MS_BOUNDS resolution; callers
+        holding raw samples should prefer an exact percentile.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if bucket_count and cumulative >= target:
+                if i == len(self.bounds):
+                    return self.max if self.max is not None else 0.0
+                lo = self.bounds[i - 1] if i else (
+                    self.min if self.min is not None else 0.0
+                )
+                hi = self.bounds[i]
+                fraction = (target - (cumulative - bucket_count))
+                value = lo + (hi - lo) * fraction / bucket_count
+                if self.min is not None:
+                    value = max(value, self.min)
+                if self.max is not None:
+                    value = min(value, self.max)
+                return value
+        return self.max if self.max is not None else 0.0
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "bounds": list(self.bounds),

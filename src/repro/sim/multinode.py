@@ -68,19 +68,22 @@ class MultiNodeResult:
         return sum(r.page_faults for r in self.per_node.values())
 
 
-def run_multi_workload(
+def build_shared_cluster(
     workloads: list[NodeWorkload],
     idle_nodes: int = 2,
     idle_frames: int | None = None,
     seed: int = 0,
     warm: bool = True,
-) -> MultiNodeResult:
-    """Run several workloads against one shared GMS cluster.
+) -> Cluster:
+    """One shared GMS cluster for several workloads.
 
-    Each workload gets its own cluster node sized to its memory
+    Node ``i`` belongs to workload ``i`` and is sized to its memory
     configuration; ``idle_nodes`` additional nodes supply the global
     cache.  With ``warm=True`` every workload's pages (shared pages only
     once) start in remote memory, matching the paper's warm-cache setup.
+    Both the sequential (:func:`run_multi_workload`) and interleaved
+    (:func:`repro.sim.multitenant.run_multi_tenant`) paths start from
+    this exact state — a precondition of their bit-identity.
     """
     if not workloads:
         raise ConfigError("need at least one workload")
@@ -91,16 +94,15 @@ def run_multi_workload(
         raise ConfigError("workload names must be unique")
 
     cluster = Cluster(seed=seed)
-    for workload in workloads:
-        cluster.add_node(workload.memory_pages)
     footprints = [w.trace.footprint_pages() for w in workloads]
     per_idle = (
         idle_frames
         if idle_frames is not None
         else max(1, -(-2 * sum(footprints) // idle_nodes))
     )
-    for _ in range(idle_nodes):
-        cluster.add_node(per_idle)
+    cluster.add_nodes(
+        [w.memory_pages for w in workloads] + [per_idle] * idle_nodes
+    )
 
     if warm:
         uids: list[PageUid] = []
@@ -116,23 +118,28 @@ def run_multi_workload(
         cluster.warm_fill_uids(
             uids, exclude=tuple(range(len(workloads)))
         )
+    return cluster
 
-    result = MultiNodeResult()
-    for node_id, workload in enumerate(workloads):
-        config = SimulationConfig(
-            memory_pages=workload.memory_pages,
-            scheme=workload.scheme,
-            subpage_bytes=workload.subpage_bytes,
-            backing="cluster",
-            cluster_node_id=node_id,
-            shared_from_page=workload.shared_from_page,
-            seed=seed,
-        )
-        simulator = Simulator(config, cluster=cluster)
-        result.per_node[workload.name] = simulator.run(workload.trace)
 
+def workload_config(
+    workload: NodeWorkload, node_id: int, seed: int = 0
+) -> SimulationConfig:
+    """The per-workload simulator configuration both paths share."""
+    return SimulationConfig(
+        memory_pages=workload.memory_pages,
+        scheme=workload.scheme,
+        subpage_bytes=workload.subpage_bytes,
+        backing="cluster",
+        cluster_node_id=node_id,
+        shared_from_page=workload.shared_from_page,
+        seed=seed,
+    )
+
+
+def cluster_stats_dict(cluster: Cluster) -> dict[str, float]:
+    """The cluster's protocol statistics as a plain dict."""
     stats = cluster.stats
-    result.cluster_stats = {
+    return {
         "getpages": stats.getpages,
         "remote_hits": stats.remote_hits,
         "local_global_hits": stats.local_global_hits,
@@ -144,4 +151,29 @@ def run_multi_workload(
         "messages": stats.messages,
         "global_hit_ratio": stats.global_hit_ratio,
     }
+
+
+def run_multi_workload(
+    workloads: list[NodeWorkload],
+    idle_nodes: int = 2,
+    idle_frames: int | None = None,
+    seed: int = 0,
+    warm: bool = True,
+) -> MultiNodeResult:
+    """Run several workloads against one shared GMS cluster.
+
+    Workloads run one after another (see the module docstring); use
+    :func:`repro.sim.multitenant.run_multi_tenant` for the interleaved,
+    interference-modelling composition.
+    """
+    cluster = build_shared_cluster(
+        workloads, idle_nodes=idle_nodes, idle_frames=idle_frames,
+        seed=seed, warm=warm,
+    )
+    result = MultiNodeResult()
+    for node_id, workload in enumerate(workloads):
+        config = workload_config(workload, node_id, seed=seed)
+        simulator = Simulator(config, cluster=cluster)
+        result.per_node[workload.name] = simulator.run(workload.trace)
+    result.cluster_stats = cluster_stats_dict(cluster)
     return result

@@ -25,7 +25,7 @@ from repro.disk.presets import paper_disk
 from repro.errors import SimulationError
 from repro.gms.cluster import Cluster, PageLocation
 from repro.gms.ids import PageUid
-from repro.net.congestion import LinkModel, PendingArrivals
+from repro.net.congestion import CrossTraffic, LinkModel, PendingArrivals
 from repro.net.latency import CalibratedLatencyModel
 from repro.obs.instrument import Instrument, Recorder
 from repro.palcode.emulator import PalEmulator
@@ -88,11 +88,15 @@ class Simulator:
         config: SimulationConfig,
         cluster: Cluster | None = None,
         instrument: Instrument | None = None,
+        link_fabric: "CrossTraffic | None" = None,
+        link_label: str | None = None,
     ) -> None:
         config.validate()
         self.config = config
         self._external_cluster = cluster
         self._instrument = instrument
+        self._link_fabric = link_fabric
+        self._link_label = link_label
         self.scheme = config.build_scheme()
         self.latency = (
             config.latency_model
@@ -151,7 +155,11 @@ class Simulator:
             ins = recorder
 
         policy = make_policy(cfg.replacement, seed=cfg.seed)
-        link = LinkModel(instrument=ins)
+        link = LinkModel(
+            instrument=ins,
+            fabric=self._link_fabric,
+            label=self._link_label,
+        )
         disk = cfg.disk_model if cfg.disk_model is not None else paper_disk(
             cfg.page_bytes
         )
@@ -323,6 +331,85 @@ class Simulator:
                     frame.dirty = True
             clock += count * event_ms
         return clock
+
+    def _step_runs(
+        self,
+        state: "_RunState",
+        cols,
+        start: int = 0,
+        clock: float = 0.0,
+        last_page: int = -1,
+    ):
+        """Generator twin of :meth:`_drive_reference`: yields the clock
+        after every compressed run.
+
+        The multi-tenant scheduler (:mod:`repro.sim.multitenant`)
+        advances N tenants in virtual-time order, which needs a
+        resumable per-run step.  The loop body is kept a line-for-line
+        mirror of :meth:`_drive_reference` rather than having the
+        reference loop drain this generator: the reference loop is on
+        the <5% disabled-instrumentation CI budget, and a per-run yield
+        costs more than that gate's remaining headroom.  Bit-identity
+        between the two is enforced by the one-tenant anchor test
+        (``tests/sim/test_multitenant.py``).
+        """
+        cfg = self.config
+        frames = state.frames
+        policy = state.policy
+        tlb = state.tlb
+        pal = state.pal
+        event_ms = state.event_ms
+        full_mask = state.full_mask
+        result = state.result
+
+        track_dist = cfg.track_distances
+        feed_hits = (
+            state.adaptive is not None
+            and state.adaptive.needs_reference_events
+        )
+
+        runs = zip(
+            cols.pages, cols.subpages, cols.blocks, cols.counts,
+            cols.writes,
+        )
+        if start:
+            runs = islice(runs, start, None)
+        for page, sp, block, count, write in runs:
+            frame = frames.get(page)
+            if frame is None:
+                clock = self._page_fault(
+                    state, clock, page, sp, block, write
+                )
+                frame = frames[page]
+                last_page = page
+                if tlb is not None and not tlb.access(page):
+                    clock += tlb.miss_ms
+                if pal is not None and frame.pending is not None:
+                    self._charge_emulation(
+                        state, clock, page, frame, count, write
+                    )
+            else:
+                if page != last_page:
+                    policy.touch(page)
+                    last_page = page
+                    if tlb is not None and not tlb.access(page):
+                        clock += tlb.miss_ms
+                if track_dist and frame.distance_from is not None:
+                    if sp != frame.distance_from:
+                        distance = sp - frame.distance_from
+                        hist = result.distance_histogram
+                        hist[distance] = hist.get(distance, 0) + 1
+                        frame.distance_from = None
+                if frame.pending is not None or frame.valid_bits != full_mask:
+                    clock = self._touch_incomplete(
+                        state, clock, page, frame, sp, block, write, count
+                    )
+                elif feed_hits:
+                    state.adaptive.observe(page, sp, "hit")
+                if write and not frame.dirty:
+                    frame.dirty = True
+            clock += count * event_ms
+            yield clock
 
     # -- fault handling ------------------------------------------------------
 

@@ -225,6 +225,159 @@ class TestSharedCopyPutpage:
         assert cluster.where_is(private) == target
 
 
+def uid_managed_by(cluster, origin: int, manager: int) -> PageUid:
+    """First UID in ``origin``'s namespace whose POD manager is ``manager``."""
+    for vpn in range(1, 512):
+        uid = PageUid(origin, vpn)
+        if cluster.directory.pod.manager_of(uid) == manager:
+            return uid
+    raise AssertionError("no uid hashed to the requested manager")
+
+
+class TestDiskDropAccounting:
+    """Pages falling to disk pay the same protocol messages as any path.
+
+    Regression: ``_to_disk`` — the putpage overflow cascade and the
+    epoch discard path — removed the directory entry and counted the
+    writeback with *zero* messages, so cascade-heavy workloads looked
+    cheaper on the wire than the protocol allows.
+    """
+
+    def test_drop_charges_directory_removal_notice(self):
+        cluster = two_node_cluster()
+        uid = uid_managed_by(cluster, 0, manager=0)
+        cluster.nodes[1].add_global(uid, age=0.0)
+        cluster.directory.update(uid, 1)
+        before = cluster.stats.messages
+        cluster.nodes[1].remove_global(uid)
+        cluster._to_disk(uid, 1)
+        # Node 1 tells the remote manager (node 0) to drop the entry.
+        assert cluster.stats.messages - before == 1
+        assert cluster.stats.discards == 1
+
+    def test_dirty_drop_also_charges_writeback(self):
+        cluster = two_node_cluster()
+        uid = uid_managed_by(cluster, 0, manager=0)  # origin 0 as well
+        cluster.nodes[1].add_global(uid, age=0.0)
+        cluster.directory.update(uid, 1)
+        cluster._dirty.add(uid)
+        before = cluster.stats.messages
+        cluster.nodes[1].remove_global(uid)
+        cluster._to_disk(uid, 1)
+        # Writeback to the origin's disk + directory-removal notice.
+        assert cluster.stats.messages - before == 2
+        assert cluster.stats.disk_writebacks == 1
+
+    def test_self_sends_stay_free(self):
+        cluster = two_node_cluster()
+        uid = uid_managed_by(cluster, 1, manager=1)
+        cluster.nodes[1].add_global(uid, age=0.0)
+        cluster.directory.update(uid, 1)
+        before = cluster.stats.messages
+        cluster.nodes[1].remove_global(uid)
+        cluster._to_disk(uid, 1)
+        assert cluster.stats.messages == before
+
+    def test_overflow_cascade_charges_victim_notice(self):
+        """End-to-end: a putpage into a full node pushes the victim to
+        disk, and the victim's directory-removal notice shows up in the
+        message totals."""
+        cluster = two_node_cluster(idle=1)
+        victim = uid_managed_by(cluster, 0, manager=0)
+        cluster.warm_fill(0, [victim.vpn])  # node 1 now full
+        incoming = PageUid(0, victim.vpn + 300)
+        cluster.nodes[0].add_local(incoming, now=0.0)
+        cluster.directory.update(incoming, 0)
+        before = cluster.stats.messages
+        target = cluster.putpage(0, incoming, age=50.0)
+        assert target == 1
+        assert cluster.where_is(victim) is None
+        expected = (
+            1  # data transfer 0 -> 1
+            + 1  # victim removal notice: node 1 -> manager (node 0)
+            + (1 if cluster.directory.pod.manager_of(incoming) != 0
+               else 0)  # incoming page's directory update
+        )
+        assert cluster.stats.messages - before == expected
+
+
+class TestBatchedConstruction:
+    """``add_nodes`` builds the directories once, not once per node."""
+
+    def test_add_nodes_single_rebuild(self):
+        cluster = Cluster()
+        cluster.add_nodes([4] * 256)
+        assert len(cluster.nodes) == 256
+        assert cluster.directory_rebuilds == 1
+
+    def test_add_node_loop_rebuilds_each_time(self):
+        cluster = Cluster()
+        for _ in range(8):
+            cluster.add_node(4)
+        assert cluster.directory_rebuilds == 8
+
+    def test_batched_matches_sequential_state(self):
+        sequential = Cluster()
+        for cap in (4, 8, 16):
+            sequential.add_node(cap)
+        sequential.warm_fill(0, [1, 2])
+        batched = Cluster()
+        batched.add_nodes([4, 8, 16])
+        batched.warm_fill(0, [1, 2])
+        caps = [n.capacity for n in batched.nodes.values()]
+        assert caps == [4, 8, 16]
+        for vpn in (1, 2):
+            uid = PageUid(0, vpn)
+            assert batched.where_is(uid) == sequential.where_is(uid)
+
+    def test_add_nodes_empty_is_noop(self):
+        cluster = Cluster()
+        assert cluster.add_nodes([]) == []
+        assert cluster.directory_rebuilds == 0
+
+    def test_sharers_survive_rebuild(self):
+        cluster, uid = shared_cluster()
+        assert cluster.directory.sharers(uid) == (0,)
+        cluster.add_node(4)  # forces a directory rebuild
+        assert cluster.where_is(uid) == 1
+        assert cluster.directory.sharers(uid) == (0,)
+        # The carried-over copyset still drives canonical promotion.
+        assert cluster.putpage(1, uid, age=2.0) is None
+        assert cluster.where_is(uid) == 0
+
+
+class TestEnsureFrame:
+    """A full active node displaces a hosted global page for a fill.
+
+    Only reachable under multi-tenant interleaving: another tenant's
+    putpages park global pages on an *active* node, and a later fault
+    there must displace one (through the standard putpage machinery)
+    before ``add_local`` can succeed.
+    """
+
+    def test_fill_displaces_hosted_global(self):
+        cluster = Cluster()
+        cluster.add_nodes([2, 4])
+        hosted = PageUid(7, 1)
+        cluster.nodes[0].add_local(PageUid(0, 1), now=0.0)
+        cluster.nodes[0].add_global(hosted, age=0.0)
+        cluster.directory.update(hosted, 0)
+        assert cluster.nodes[0].free_frames == 0
+        result = cluster.getpage(0, PageUid(0, 2), now=1.0)
+        assert result.location is PageLocation.DISK
+        assert cluster.nodes[0].holds_local(PageUid(0, 2))
+        assert not cluster.nodes[0].holds(hosted)
+        # The hosted page left through putpage, not silently.
+        assert cluster.stats.putpages == 1
+
+    def test_full_of_local_pages_still_overflows(self):
+        cluster = Cluster()
+        cluster.add_nodes([1, 4])
+        cluster.nodes[0].add_local(PageUid(0, 1), now=0.0)
+        with pytest.raises(CapacityError):
+            cluster.getpage(0, PageUid(0, 2), now=1.0)
+
+
 class TestWarmFillUids:
     def test_round_robin_placement(self):
         cluster = Cluster()

@@ -86,3 +86,46 @@ class TestGcd:
         assert gcd.stats[manager].updates == 1
         assert gcd.stats[manager].lookups == 1
         assert gcd.stats[manager].hits == 1
+
+
+class TestCopysets:
+    """Secondary-copy (sharer) tracking next to the holder map."""
+
+    def test_add_and_list_sharers_sorted(self, gcd):
+        gcd.update(uid(1), 0)
+        gcd.add_sharer(uid(1), 2)
+        gcd.add_sharer(uid(1), 1)
+        assert gcd.sharers(uid(1)) == (1, 2)
+
+    def test_holder_never_recorded_as_sharer(self, gcd):
+        gcd.update(uid(1), 0)
+        gcd.add_sharer(uid(1), 0)
+        assert gcd.sharers(uid(1)) == ()
+
+    def test_promoted_sharer_leaves_copyset(self, gcd):
+        gcd.update(uid(1), 0)
+        gcd.add_sharer(uid(1), 2)
+        gcd.update(uid(1), 2)  # the sharer becomes the holder
+        assert gcd.lookup(uid(1)) == 2
+        assert gcd.sharers(uid(1)) == ()
+
+    def test_remove_sharer(self, gcd):
+        gcd.update(uid(1), 0)
+        gcd.add_sharer(uid(1), 2)
+        gcd.remove_sharer(uid(1), 2)
+        assert gcd.sharers(uid(1)) == ()
+
+    def test_remove_sharer_unknown_is_noop(self, gcd):
+        gcd.remove_sharer(uid(9), 2)  # no entry, no crash
+        assert gcd.sharers(uid(9)) == ()
+
+    def test_remove_entry_clears_copyset(self, gcd):
+        gcd.update(uid(1), 0)
+        gcd.add_sharer(uid(1), 2)
+        gcd.remove(uid(1))
+        assert gcd.sharers(uid(1)) == ()
+
+    def test_entries_iterates_holders(self, gcd):
+        gcd.update(uid(1), 0)
+        gcd.update(uid(2), 1)
+        assert dict(gcd.entries()) == {uid(1): 0, uid(2): 1}

@@ -94,6 +94,32 @@ class TestShouldDiscard:
         assert mgr.should_discard(nodes, page_age=0.5)
         assert not mgr.should_discard(nodes, page_age=10.0)
 
+    def test_discard_stream_forces_recompute(self):
+        """Regression: ``should_discard`` never counted toward
+        ``max_epoch_operations``, so a discard-heavy putpage stream kept
+        comparing against the first epoch's stale threshold forever."""
+        nodes = cluster_nodes({0: [1.0], 1: [2.0]})
+        mgr = EpochManager(
+            EpochParams(target_evictions=1, max_epoch_operations=5)
+        )
+        for _ in range(12):
+            mgr.should_discard(nodes, page_age=0.5)
+        assert mgr.epochs_computed >= 2
+
+    def test_discard_stream_sees_fresh_threshold(self):
+        """After the cluster's ages shift, a should_discard-only caller
+        must eventually see the recomputed threshold."""
+        nodes = cluster_nodes({0: [1.0], 1: [2.0]})
+        mgr = EpochManager(
+            EpochParams(target_evictions=1, max_epoch_operations=2)
+        )
+        assert not mgr.should_discard(nodes, page_age=5.0)
+        # Ages move on: the cluster's oldest page is now much older.
+        aged = cluster_nodes({0: [100.0], 1: [200.0]})
+        for _ in range(3):
+            decision = mgr.should_discard(aged, page_age=5.0)
+        assert decision  # threshold refreshed to 100.0 -> 5.0 is old
+
 
 class TestParams:
     def test_validation(self):

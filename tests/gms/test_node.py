@@ -123,6 +123,17 @@ class TestIntrospection:
         with pytest.raises(CapacityError):
             Node(1, capacity=-1)
 
+    def test_global_age(self):
+        node = Node(1, capacity=4)
+        node.add_global(uid(2), 7.0)
+        assert node.global_age(uid(2)) == 7.0
+
+    def test_global_age_missing_raises(self):
+        node = Node(1, capacity=4)
+        node.add_local(uid(1), 0.0)
+        with pytest.raises(GmsError):
+            node.global_age(uid(1))  # local, not hosted global
+
 
 class TestPageUid:
     def test_ordering_and_equality(self):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.net.congestion import LinkModel, PendingArrivals
+from repro.net.congestion import CrossTraffic, LinkModel, PendingArrivals
 
 
 def pending(arrivals, wire_end):
@@ -188,3 +188,94 @@ class TestShiftAll:
         link.demand(1.0, 0.4)
         assert p.arrival_ms[0] == pytest.approx(0.5)  # already arrived
         assert p.arrival_ms[1] == pytest.approx(2.4)
+
+
+class TestCrossTraffic:
+    """Shared-fabric coupling between concurrent tenants' links."""
+
+    def pair(self):
+        fabric = CrossTraffic()
+        a = LinkModel(fabric=fabric, label="a")
+        b = LinkModel(fabric=fabric, label="b")
+        return fabric, a, b
+
+    def test_demand_preempts_other_links_backgrounds(self):
+        _, a, b = self.pair()
+        p = pending({1: 2.0}, wire_end=2.0)
+        b.background(1.0, 1.0, p)
+        a.demand(1.5, 0.4)
+        assert p.arrival_ms[1] == pytest.approx(2.4)
+        assert b.cross_preempts == 1
+        assert b.cross_preemption_delay_ms == pytest.approx(0.4)
+        # The victim's own preemption counter is untouched.
+        assert b.total_preemption_delay_ms == 0.0
+
+    def test_background_occupies_other_links(self):
+        _, a, b = self.pair()
+        a.background(0.0, 2.0, pending({1: 2.0}, wire_end=2.0))
+        assert b.cross_occupies == 1
+        assert b.busy_until_ms == pytest.approx(2.0)
+        p = pending({1: 2.5}, wire_end=2.5)
+        delay = b.background(1.0, 1.0, p)
+        assert delay == pytest.approx(1.0)  # queued behind a's transfer
+        # The whole wait is cross-inflicted: b's own wire was idle.
+        assert b.cross_queueing_delay_ms == pytest.approx(1.0)
+
+    def test_own_queueing_not_miscounted_as_cross(self):
+        _, a, b = self.pair()
+        b.background(0.0, 2.0, pending({1: 2.0}, wire_end=2.0))
+        p = pending({1: 3.0}, wire_end=3.0)
+        delay = b.background(1.0, 1.0, p)
+        assert delay == pytest.approx(1.0)  # behind b's *own* transfer
+        assert b.cross_queueing_delay_ms == 0.0
+
+    def test_injected_ms_attributes_to_source(self):
+        fabric, a, b = self.pair()
+        a.demand(0.0, 0.5)
+        a.background(1.0, 1.5, pending({}, 2.5))
+        b.demand(0.0, 0.25)
+        assert fabric.injected_ms["a"] == pytest.approx(2.0)
+        assert fabric.injected_ms["b"] == pytest.approx(0.25)
+
+    def test_single_link_fabric_inert(self):
+        fabric = CrossTraffic()
+        a = LinkModel(fabric=fabric, label="a")
+        a.demand(0.0, 1.0)
+        a.background(0.0, 1.0, pending({1: 2.0}, 2.0))
+        assert a.cross_preempts == 0
+        assert a.cross_occupies == 0
+        assert fabric.injected_ms == {}
+
+    def test_fabric_preserves_single_tenant_semantics(self):
+        """A link on a one-tenant fabric behaves exactly like a bare
+        link — the one-tenant interleaved anchor depends on this."""
+        fabric = CrossTraffic()
+        coupled = LinkModel(fabric=fabric, label="a")
+        bare = LinkModel()
+        for link in (coupled, bare):
+            link.demand(0.0, 1.5)
+            p = pending({0: 0.0, 1: 1.0}, wire_end=2.0)
+            link.background(0.0, 2.0, p)
+            assert p.arrival_ms[0] == pytest.approx(1.5)
+            link.demand(2.0, 0.4)
+        assert coupled.busy_until_ms == bare.busy_until_ms
+        assert (coupled.total_queueing_delay_ms
+                == bare.total_queueing_delay_ms)
+        assert (coupled.total_preemption_delay_ms
+                == bare.total_preemption_delay_ms)
+
+    def test_cross_stats_shape(self):
+        _, a, b = self.pair()
+        a.demand(0.0, 1.0)
+        stats = b.cross_stats()
+        assert stats == {
+            "cross_preempts": 1,
+            "cross_occupies": 0,
+            "cross_preemption_delay_ms": 0.0,
+            "cross_queueing_delay_ms": 0.0,
+        }
+
+    def test_external_negative_wire_rejected(self):
+        _, a, _ = self.pair()
+        with pytest.raises(SimulationError):
+            a.preempt_external(0.0, -1.0)

@@ -152,3 +152,41 @@ class TestWriteMetrics:
         assert data["counters"]["faults_remote"] == 7
         restored = MetricsRegistry.from_dict(data)
         assert restored.histograms["fault_waiting_ms"].count == 3
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_bucket(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            hist.add(value)
+        # Rank 2 of 4 lands at the top of the (1, 2] bucket.
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+
+    def test_clamps_to_observed_extremes(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            hist.add(value)
+        assert hist.quantile(0.0) == pytest.approx(0.5)
+        assert hist.quantile(1.0) == pytest.approx(3.5)
+
+    def test_overflow_bucket_reports_max(self):
+        hist = Histogram()  # DEFAULT_MS_BOUNDS, top bound 1000
+        hist.add(0.1)
+        hist.add(5000.0)
+        assert hist.quantile(0.99) == pytest.approx(5000.0)
+
+    def test_monotone_in_q(self):
+        hist = Histogram(bounds=(1.0, 2.0, 5.0, 10.0))
+        for value in (0.2, 0.9, 1.1, 3.0, 4.0, 7.0, 9.0):
+            hist.add(value)
+        qs = [hist.quantile(q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+
+    def test_empty_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram().quantile(1.5)
+        with pytest.raises(ConfigError):
+            Histogram().quantile(-0.1)

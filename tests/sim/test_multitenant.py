@@ -1,0 +1,122 @@
+"""Interleaved multi-tenant scheduling against one shared cluster."""
+
+import numpy as np
+import pytest
+
+from repro.sim.multinode import NodeWorkload, run_multi_workload
+from repro.sim.multitenant import run_multi_tenant
+from repro.trace.compress import compress_references
+
+
+def trace_for(pages: list[int], name: str):
+    addrs = np.repeat(np.array(pages, dtype=np.int64) * 8192, 50)
+    addrs = addrs + np.tile(np.arange(50, dtype=np.int64) * 8, len(pages))
+    return compress_references(addrs, name=name)
+
+
+def busy_workload(name: str, scheme: str = "eager",
+                  subpage_bytes: int = 1024) -> NodeWorkload:
+    # Revisit after eviction: memory holds 4 of 12 pages, two passes.
+    pages = list(range(12)) * 2
+    return NodeWorkload(name, trace_for(pages, name), memory_pages=4,
+                        scheme=scheme, subpage_bytes=subpage_bytes)
+
+
+class TestOneTenantAnchor:
+    """One-tenant interleaved must be *bit-identical* to sequential.
+
+    ``run_multi_tenant`` with a single workload exercises the same
+    cluster build, the same per-run stepping, and an inert cross-traffic
+    fabric — any drift from ``run_multi_workload`` here means the
+    interleaved scheduler changed single-tenant semantics.
+    """
+
+    @pytest.mark.parametrize("scheme", ["eager", "pipelined"])
+    @pytest.mark.parametrize("subpage_bytes", [4096, 1024])
+    def test_bit_identical_to_sequential(self, scheme, subpage_bytes):
+        workloads = [busy_workload("a", scheme, subpage_bytes)]
+        sequential = run_multi_workload(workloads)
+        interleaved = run_multi_tenant(workloads)
+        seq = sequential.per_node["a"]
+        par = interleaved.per_tenant["a"]
+        assert seq == par
+        assert seq.summary() == par.summary()
+        assert sequential.cluster_stats == interleaved.cluster_stats
+
+    def test_single_link_fabric_is_inert(self):
+        result = run_multi_tenant([busy_workload("a")])
+        stats = result.cross_stats["a"]
+        assert stats["cross_preempts"] == 0
+        assert stats["cross_occupies"] == 0
+        assert stats["cross_queueing_delay_ms"] == 0.0
+        assert result.injected_ms == {}
+
+
+class TestInterleaving:
+    def test_two_tenants_complete(self):
+        result = run_multi_tenant(
+            [busy_workload("a"), busy_workload("b")]
+        )
+        assert set(result.per_tenant) == {"a", "b"}
+        for res in result.per_tenant.values():
+            assert res.page_faults > 0
+            assert res.total_ms > 0
+        assert result.total_faults == sum(
+            r.page_faults for r in result.per_tenant.values()
+        )
+
+    def test_cluster_sees_both_tenants(self):
+        result = run_multi_tenant(
+            [busy_workload("a"), busy_workload("b")]
+        )
+        assert result.cluster_stats["getpages"] == result.total_faults
+
+    def test_cross_traffic_attributed(self):
+        result = run_multi_tenant(
+            [busy_workload("a"), busy_workload("b")]
+        )
+        # Each tenant's demand transfers preempt the other's link.
+        for name in ("a", "b"):
+            assert result.cross_stats[name]["cross_preempts"] > 0
+        assert set(result.injected_ms) == {"a", "b"}
+        assert all(v > 0 for v in result.injected_ms.values())
+
+    def test_cross_traffic_can_be_disabled(self):
+        result = run_multi_tenant(
+            [busy_workload("a"), busy_workload("b")],
+            cross_traffic=False,
+        )
+        assert result.cross_stats == {}
+        assert result.injected_ms == {}
+
+    def test_contention_slows_pipelined_tenants(self):
+        """The headline effect: with cross-traffic the same two tenants
+        take at least as long as without it."""
+        workloads = [
+            busy_workload("a", "pipelined"),
+            busy_workload("b", "pipelined"),
+        ]
+        coupled = run_multi_tenant(workloads)
+        isolated = run_multi_tenant(workloads, cross_traffic=False)
+        for name in ("a", "b"):
+            assert (
+                coupled.per_tenant[name].total_ms
+                >= isolated.per_tenant[name].total_ms
+            )
+
+    def test_latency_report_integration(self):
+        result = run_multi_tenant(
+            [busy_workload("a"), busy_workload("b")]
+        )
+        solo = {
+            name: run_multi_tenant([busy_workload(name)])
+            .per_tenant[name].total_ms
+            for name in ("a", "b")
+        }
+        report = result.latency_report(baselines=solo)
+        assert set(report.tenants) == {"a", "b"}
+        assert report.fairness() >= 1.0
+        for tenant in report.tenants.values():
+            assert tenant.slowdown is not None
+            assert tenant.slowdown >= 1.0
+            assert tenant.p99_ms >= tenant.p50_ms

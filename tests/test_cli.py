@@ -12,7 +12,8 @@ class TestCli:
         assert "fig03" in out
         assert "tab01" in out
         assert "figAX" in out
-        assert len(out.strip().splitlines()) == 14
+        assert "figMT" in out
+        assert len(out.strip().splitlines()) == 15
 
     def test_run_one(self, capsys):
         assert main(["tab01"]) == 0

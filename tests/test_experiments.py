@@ -305,15 +305,91 @@ class TestFig10:
         assert result.burst_fraction["atom"] < 0.7
 
 
+class TestFigMT:
+    @pytest.fixture(scope="class")
+    def figmt(self):
+        from repro.experiments import fig11_multitenant
+
+        return fig11_multitenant.run()
+
+    def test_rows_cover_the_grid(self, figmt):
+        from repro.experiments.fig11_multitenant import (
+            SCHEMES,
+            SUBPAGE_SIZES,
+            TENANT_COUNTS,
+        )
+
+        assert len(figmt.rows) == (
+            sum(TENANT_COUNTS) * len(SCHEMES) * len(SUBPAGE_SIZES)
+        )
+        for tenants in TENANT_COUNTS:
+            for scheme in SCHEMES:
+                for subpage in SUBPAGE_SIZES:
+                    assert len(figmt.cell(tenants, scheme, subpage)) == (
+                        tenants
+                    )
+
+    def test_contention_slows_tenants_down(self, figmt):
+        # Solo cells sit at slowdown 1.0 by construction; contended
+        # cells must be at least as slow, and visibly slower at 4.
+        for row in figmt.rows:
+            if row.tenants == 1:
+                assert row.slowdown == pytest.approx(1.0)
+            else:
+                assert row.slowdown >= 1.0
+        four = [r.slowdown for r in figmt.rows if r.tenants == 4]
+        assert max(four) > 1.2
+
+    def test_cross_traffic_only_under_contention(self, figmt):
+        for row in figmt.rows:
+            received = row.cross_queueing_ms + row.cross_preemption_ms
+            if row.tenants == 1:
+                assert received == 0.0
+        contended = [
+            r.cross_queueing_ms + r.cross_preemption_ms
+            for r in figmt.rows if r.tenants > 1
+        ]
+        assert any(v > 0 for v in contended)
+
+    def test_pipelining_win_shrinks_under_contention(self, figmt):
+        """The headline: contention erodes (without necessarily
+        erasing) pipelining's solo advantage at small subpages."""
+        from repro.experiments.fig11_multitenant import (
+            SUBPAGE_SIZES,
+            TENANT_COUNTS,
+        )
+
+        small = min(SUBPAGE_SIZES)
+
+        def win(tenants: int) -> float:
+            eager = sum(
+                r.total_ms for r in figmt.cell(tenants, "eager", small)
+            )
+            pipe = sum(
+                r.total_ms
+                for r in figmt.cell(tenants, "pipelined", small)
+            )
+            return 1.0 - pipe / eager
+
+        assert win(1) > 0.1  # the paper's single-tenant result
+        assert win(max(TENANT_COUNTS)) < win(1)
+
+    def test_tenant_metrics_validate(self, figmt):
+        from repro.obs.tenants import validate_tenant_metrics
+
+        assert validate_tenant_metrics(figmt.tenant_metrics) == []
+        assert figmt.tenant_metrics["fairness"] >= 1.0
+
+
 class TestRegistry:
     def test_all_experiments_present(self):
-        assert len(EXPERIMENTS) == 14
+        assert len(EXPERIMENTS) == 15
 
     def test_ids(self):
         assert set(EXPERIMENTS) == {
             "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
-            "fig07", "fig08", "fig09", "fig10", "figAX", "tab01",
-            "tab02", "scorecard",
+            "fig07", "fig08", "fig09", "fig10", "figAX", "figMT",
+            "tab01", "tab02", "scorecard",
         }
 
     def test_get_unknown(self):

@@ -17,6 +17,7 @@ import argparse
 import json
 import sys
 
+from repro.obs.tenants import validate_tenant_metrics
 from repro.obs.validate import (
     validate_chrome_trace,
     validate_jsonl,
@@ -41,9 +42,16 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="FILE", help="JSONL event stream file(s)")
     parser.add_argument("--metrics", action="append", default=[],
                         metavar="FILE", help="metrics registry JSON file(s)")
+    parser.add_argument("--tenant-metrics", action="append", default=[],
+                        metavar="FILE",
+                        help="per-tenant latency/fairness JSON file(s)")
     args = parser.parse_args(argv)
-    if not (args.trace or args.jsonl or args.metrics):
-        parser.error("nothing to validate; pass --trace/--jsonl/--metrics")
+    if not (args.trace or args.jsonl or args.metrics
+            or args.tenant_metrics):
+        parser.error(
+            "nothing to validate; pass --trace/--jsonl/--metrics/"
+            "--tenant-metrics"
+        )
 
     failures = 0
     for path in args.trace:
@@ -64,6 +72,11 @@ def main(argv: list[str] | None = None) -> int:
         if obj is not None:
             problems = validate_metrics(obj)
         failures += _report(path, "metrics", problems)
+    for path in args.tenant_metrics:
+        obj, problems = _load_json(path)
+        if obj is not None:
+            problems = validate_tenant_metrics(obj)
+        failures += _report(path, "tenant-metrics", problems)
     return 1 if failures else 0
 
 
