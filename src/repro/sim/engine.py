@@ -64,6 +64,22 @@ BAIL_WINDOW = 2048
 BAIL_MIN_SPAN = 4
 
 
+def span_clock(prods: np.ndarray, i: int, j: int, clock: float) -> float:
+    """Advance ``clock`` over runs ``[i, j)`` of precomputed
+    ``count * event_ms`` products.
+
+    The shared prefix-sum helper of every bulk engine (fast, batch,
+    fused single-lane): one left-to-right float64
+    ``np.add.accumulate`` chain seeded with the incoming clock, which
+    is bit-identical to the reference loop's scalar
+    ``clock += count * event_ms`` per run.
+    """
+    seg = prods[i:j].copy()
+    seg[0] += clock
+    np.add.accumulate(seg, out=seg)
+    return float(seg[-1])
+
+
 def drive_fast(
     sim: "Simulator",
     state: "_RunState",
@@ -96,9 +112,11 @@ def drive_fast(
     switch_arr = cols.switch_arr
     switch_cum = cols.switch_cum
     writes_cum = cols.writes_cum
-    # One vectorized multiply up front: prods[k] is bitwise-identical to
-    # the reference loop's scalar ``counts[k] * event_ms``.
-    prods = cols.counts_f64 * event_ms
+    # Per-run products cached on the columns: prods[k] is
+    # bitwise-identical to the reference loop's scalar
+    # ``counts[k] * event_ms``, and every cell of a grid touching this
+    # (trace, event_ms) shares one vector.
+    prods = cols.prods(event_ms)
     n = len(pages_l)
 
     occ = trace.occurrences()
@@ -181,10 +199,7 @@ def drive_fast(
                 f = frames[p]
                 if not f.dirty:
                     f.dirty = True
-        seg = prods[i:j].copy()
-        seg[0] += clock
-        np.add.accumulate(seg, out=seg)
-        clock = float(seg[-1])
+        clock = span_clock(prods, i, j, clock)
 
     while heap:
         idx, page = heappop(heap)

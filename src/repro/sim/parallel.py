@@ -669,19 +669,33 @@ def _payload_picklable(
 BatchGroup = list[tuple[SweepJob, "str | None"]]
 
 
+#: Floor below which a batch unit is not halved further.  The fused
+#: engine's per-unit cost is dominated by the shared pass over the
+#: trace — spans, scan probes, and the event heap are walked once for
+#: the whole unit, and only the per-lane clock math scales with cell
+#: count — so a unit's wall time grows sublinearly in its cells.
+#: Halving a small unit therefore duplicates the expensive shared walk
+#: across two workers for little parallel win; units of
+#: ``MIN_FUSED_UNIT // 2`` cells are the break-even observed on the
+#: throughput bench's 24-cell grid.
+MIN_FUSED_UNIT = 8
+
+
 def _split_groups(groups: list[BatchGroup], workers: int) -> list[BatchGroup]:
     """Split batch units so a few big groups can use the whole pool.
 
     Units are trace-aligned, so a single-trace grid would otherwise
     serialize on one worker; halving the biggest unit until there are
-    enough (or halving would drop a unit below 2 cells) keeps every
-    worker busy while each unit still amortizes its trace's shared
-    scan.  Cells keep their original relative order inside each unit.
+    enough keeps every worker busy while each unit still amortizes its
+    trace's shared scan — and, under the fused engine, its shared event
+    pass, which is why halving stops at :data:`MIN_FUSED_UNIT` (fused
+    units want *many* cells per worker; see docs/PARALLEL.md).  Cells
+    keep their original relative order inside each unit.
     """
     units = list(groups)
     while len(units) < workers:
         biggest = max(units, key=len, default=None)
-        if biggest is None or len(biggest) < 4:
+        if biggest is None or len(biggest) < MIN_FUSED_UNIT:
             break
         units.remove(biggest)
         mid = (len(biggest) + 1) // 2

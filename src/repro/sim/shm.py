@@ -490,6 +490,12 @@ def cached_trace(
     capacity = worker_cache_capacity()
     while len(_TRACE_LRU) > capacity:
         _, (old_trace, old_closer) = _TRACE_LRU.popitem(last=False)
+        # The derived caches (column lists, the batch TraceScan, prods
+        # vectors) dwarf the zero-copy run arrays — under the fused
+        # engine's fat units they are the per-worker footprint — so
+        # drop them eagerly rather than waiting for every stray trace
+        # reference to die.
+        old_trace._cols.clear()
         del old_trace
         if old_closer is not None:
             old_closer()
@@ -500,6 +506,7 @@ def clear_trace_cache() -> None:
     """Drop the process-local trace LRU (tests, memory-pressure relief)."""
     while _TRACE_LRU:
         _, (old_trace, old_closer) = _TRACE_LRU.popitem(last=False)
+        old_trace._cols.clear()
         del old_trace
         if old_closer is not None:
             old_closer()

@@ -26,6 +26,12 @@ from repro.errors import TraceError
 from repro.units import FULL_PAGE_BYTES, MIN_SUBPAGE_BYTES, is_power_of_two
 
 
+def index_dtype(count: int) -> type:
+    """Narrowest signed dtype that can index ``count`` items (plus the
+    sentinels the scan structures use: ``count`` itself and ``-1``)."""
+    return np.int32 if count < 2**31 else np.int64
+
+
 class TraceColumns:
     """Precomputed per-run columns for the simulator engines.
 
@@ -48,6 +54,7 @@ class TraceColumns:
         "switch_arr",
         "switch_cum",
         "writes_cum",
+        "_prods",
     )
 
     def __init__(
@@ -68,6 +75,7 @@ class TraceColumns:
             self.switch_arr = base.switch_arr
             self.switch_cum = base.switch_cum
             self.writes_cum = base.writes_cum
+            self._prods = base._prods
             return
         self.pages = trace.pages.tolist()
         self.blocks = trace.blocks.tolist()
@@ -91,12 +99,32 @@ class TraceColumns:
                 self.pages_arr[1:], self.pages_arr[:-1],
                 out=self.switch_arr[1:],
             )
-        self.switch_cum = np.concatenate(
-            ([0], np.cumsum(self.switch_arr, dtype=np.int64))
-        )
-        self.writes_cum = np.concatenate(
-            ([0], np.cumsum(self.writes_arr, dtype=np.int64))
-        )
+        # Derived index arrays use the narrowest dtype the run count
+        # permits: int32 halves the per-process cache (and the fast
+        # engines' slice traffic) for every real trace, int64 only past
+        # 2**31-1 runs.  Only *derived* caches downsize — the RunTrace
+        # run arrays themselves feed ``fingerprint()`` (raw bytes), so
+        # their dtype is part of the trace's content address.
+        idx = index_dtype(n)
+        self.switch_cum = np.zeros(n + 1, dtype=idx)
+        np.cumsum(self.switch_arr, dtype=idx, out=self.switch_cum[1:])
+        self.writes_cum = np.zeros(n + 1, dtype=idx)
+        np.cumsum(self.writes_arr, dtype=idx, out=self.writes_cum[1:])
+        #: event_ms -> counts * event_ms products, shared with every
+        #: subpage size's columns (``base._prods`` above) so a whole
+        #: grid of cells computes each clock-product vector once.
+        self._prods = {}
+
+    def prods(self, event_ms: float) -> np.ndarray:
+        """The per-run clock products at ``event_ms``, computed once.
+
+        Bitwise-identical to the reference loop's scalar
+        ``count * event_ms`` (one IEEE multiply per run, same operands).
+        """
+        arr = self._prods.get(event_ms)
+        if arr is None:
+            arr = self._prods[event_ms] = self.counts_f64 * event_ms
+        return arr
 
 
 @dataclass(frozen=True, slots=True)

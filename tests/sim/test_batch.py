@@ -19,9 +19,11 @@ import pytest
 from repro.sim import parallel
 from repro.sim.batch import (
     _SCAN_KEY,
+    FusedProfile,
     TraceScan,
     batch_eligible,
     simulate_cells,
+    simulate_cells_timed,
     trace_scan,
 )
 from repro.sim.config import SimulationConfig
@@ -164,6 +166,40 @@ class TestTraceScan:
         assert np.array_equal(first, cols.counts_f64 * 0.5)
         assert scan.prods(cols, 0.25) is not first
 
+    def test_scan_arrays_use_narrow_index_dtype(self, scan_and_cols):
+        """Derived scan/column caches downsize to int32 whenever the
+        run count permits (always, until a >2**31-run trace exists):
+        they are rebuilt per worker process, so the narrow dtype halves
+        the per-worker footprint next to the shm arena's."""
+        scan, cols = scan_and_cols
+        for arr in (
+            scan.switch_pos,
+            scan.switch_next,
+            scan.write_pos,
+            scan.write_prev,
+        ):
+            assert arr.dtype == np.int32
+        assert scan.switch_col.dtype == np.int32
+        assert scan.write_col.dtype == np.int32
+        assert cols.switch_cum.dtype == np.int32
+        assert cols.writes_cum.dtype == np.int32
+        # The trace's own run arrays must NOT downsize: their bytes are
+        # hashed into the content-addressing fingerprint.
+        assert cols.pages_arr.dtype == np.int64
+
+    def test_scan_dense_page_columns(self, scan_and_cols):
+        scan, cols = scan_and_cols
+        assert scan.page_ids.tolist() == sorted(set(cols.pages))
+        assert scan.col_of == {
+            page: k for k, page in enumerate(scan.page_ids_list)
+        }
+        assert scan.switch_page.tolist() == [
+            scan.page_ids_list[c] for c in scan.switch_col.tolist()
+        ]
+        assert scan.write_page.tolist() == [
+            scan.page_ids_list[c] for c in scan.write_col.tolist()
+        ]
+
     def test_scan_cached_on_trace_and_dropped_on_pickle(self, trace):
         cols = trace.columns(512)
         scan = trace_scan(trace, cols)
@@ -276,14 +312,27 @@ class TestRunCellsBatch:
             assert second[key].total_ms == first[key].total_ms
 
     def test_split_groups_fills_workers(self):
-        group = [("job", k) for k in range(8)]
+        group = [("job", k) for k in range(16)]
         units = parallel._split_groups([list(group)], workers=4)
-        assert sorted(len(u) for u in units) == [2, 2, 2, 2]
+        assert sorted(len(u) for u in units) == [4, 4, 4, 4]
         assert sorted(c for u in units for c in u) == sorted(group)
         # Each unit is a contiguous slice: in-unit order is preserved.
         for unit in units:
             ks = [k for _, k in unit]
             assert ks == list(range(ks[0], ks[0] + len(ks)))
+
+    def test_split_groups_keeps_fused_units_fat(self):
+        # The fused engine amortizes one shared pass across a unit's
+        # cells, so halving stops at MIN_FUSED_UNIT even when workers
+        # would otherwise be idle: an 8-cell unit splits once and the
+        # 4-cell halves stay whole.
+        group = [("job", k) for k in range(8)]
+        units = parallel._split_groups([list(group)], workers=4)
+        assert sorted(len(u) for u in units) == [4, 4]
+        units = parallel._split_groups(
+            [[("job", k) for k in range(4)]], workers=8
+        )
+        assert [len(u) for u in units] == [4]
 
     def test_split_groups_leaves_small_units_whole(self):
         group = [("job", k) for k in range(3)]
@@ -333,9 +382,116 @@ class TestBatchUnitFailure:
         assert all(e.status == "cached" for e in events)
 
 
+def thrash_trace(runs=9000, pages=9):
+    """Round-robin over ``pages`` pages: every run switches, so a cell
+    with a tiny memory faults on every single run (guaranteed fused
+    thrash bail-out) while a cell holding the whole footprint settles
+    into pure hits after ``pages`` warm faults."""
+    seq = np.arange(runs, dtype=np.int64) % pages
+    return compress_references(seq * 8192, name="thrash")
+
+
+class TestFusedEngine:
+    """Fused-loop edge cases; bit-exact matrix equivalence lives in
+    ``tests/sim/test_engine_equivalence.py``."""
+
+    def config(self, **overrides):
+        kwargs = dict(
+            memory_pages=8, scheme="eager", subpage_bytes=1024,
+            event_ns=1000.0, use_trace_dilation=False,
+            track_distances=False,
+        )
+        kwargs.update(overrides)
+        return SimulationConfig(**kwargs)
+
+    def test_single_cell_fused_matches_drive_fast(self, trace):
+        config = self.config(subpage_bytes=512)
+        assert simulate_cells(trace, [config]) == [simulate(trace, config)]
+
+    def test_bailing_cell_leaves_others_untouched(self):
+        trace = thrash_trace()
+        thrasher = self.config(memory_pages=2, scheme="pipelined")
+        healthy = [
+            self.config(memory_pages=16, subpage_bytes=sp)
+            for sp in (512, 2048)
+        ]
+        configs = [healthy[0], thrasher, healthy[1]]
+        profile = FusedProfile()
+        got = [
+            r for r, _ in simulate_cells_timed(
+                trace, configs, profile=profile
+            )
+        ]
+        # The thrasher (fused index 1) bailed mid-trace; the others
+        # finished the fused pass.
+        assert profile.bailed == [1]
+        assert profile.cells == 3
+        for config, result in zip(configs, got):
+            assert result == simulate(trace, config)
+
+    def test_all_cells_bailing_matches_standalone(self):
+        trace = thrash_trace()
+        configs = [
+            self.config(memory_pages=2, subpage_bytes=sp)
+            for sp in (512, 1024)
+        ]
+        profile = FusedProfile()
+        got = [
+            r for r, _ in simulate_cells_timed(
+                trace, configs, profile=profile
+            )
+        ]
+        assert sorted(profile.bailed) == [0, 1]
+        for config, result in zip(configs, got):
+            assert result == simulate(trace, config)
+
+    def test_profile_accounts_stages(self, trace):
+        configs = [j.config for j in make_jobs(trace)]
+        profile = FusedProfile()
+        simulate_cells_timed(trace, configs, profile=profile)
+        assert profile.cells == len(configs)
+        assert profile.kernel in ("numpy", "numba")
+        assert profile.events > 0
+        assert profile.scalar_events >= profile.events
+        assert profile.spans > 0
+        assert profile.bulk_s > 0.0
+        assert profile.scalar_s > 0.0
+
+    def test_fused_false_keeps_per_cell_batch_path(self, trace):
+        configs = [j.config for j in make_jobs(trace, sizes=(512, 4096))]
+        assert simulate_cells(trace, configs, fused=False) == \
+            simulate_cells(trace, configs)
+
+
 class TestSimulateCellsApi:
     def test_empty_config_list(self, trace):
         assert simulate_cells(trace, []) == []
+
+    def test_all_ineligible_falls_back_cleanly(self, trace):
+        configs = [
+            SimulationConfig(
+                memory_pages=8, engine="reference",
+                subpage_bytes=1024, track_distances=False,
+            ),
+            SimulationConfig(
+                memory_pages=8, subpage_bytes=512,
+                track_distances=True,
+            ),
+        ]
+        got = simulate_cells(trace, configs)
+        assert got == [simulate(trace, c) for c in configs]
+
+    def test_mixed_eligibility_keeps_positions(self, trace):
+        eligible = SimulationConfig(
+            memory_pages=8, subpage_bytes=1024, track_distances=False,
+        )
+        ineligible = SimulationConfig(
+            memory_pages=8, subpage_bytes=1024, engine="reference",
+            track_distances=False,
+        )
+        configs = [ineligible, eligible, ineligible]
+        got = simulate_cells(trace, configs)
+        assert got == [simulate(trace, c) for c in configs]
 
     def test_results_positionally_parallel(self, trace):
         configs = [j.config for j in make_jobs(trace, sizes=(512, 2048))]

@@ -201,13 +201,16 @@ def matrix_configs(trace):
 
 
 class TestBatchEquivalence:
-    """The cross-cell batched engine against both per-cell engines.
+    """The cross-cell batched engines against both per-cell engines.
 
-    ``simulate_cells`` runs the whole matrix over one shared
-    :class:`~repro.sim.batch.TraceScan`; every cell must equal the
-    fast *and* reference engines with ``==`` — the full
-    :class:`~repro.sim.results.SimulationResult`, its ``summary()``
-    dict, and its link statistics, to the last float bit.
+    ``simulate_cells`` runs the whole matrix through the *fused*
+    struct-of-arrays pass (``drive_fused``, one walk of the shared
+    :class:`~repro.sim.batch.TraceScan` heap for all cells at once);
+    every cell must equal the fast *and* reference engines with ``==``
+    — the full :class:`~repro.sim.results.SimulationResult`, its
+    ``summary()`` dict, and its link statistics, to the last float
+    bit.  ``fused=False`` keeps the per-cell ``drive_batch`` loop
+    covered against the same bar.
     """
 
     def test_full_matrix_bit_identical(self, mixed_trace):
@@ -224,10 +227,19 @@ class TestBatchEquivalence:
             assert got.summary() == ref.summary()
             assert got.link_stats == ref.link_stats
 
+    def test_legacy_batch_path_matches_fused(self, mixed_trace):
+        """The pre-fusion per-cell ``drive_batch`` loop stays alive
+        behind ``fused=False`` and must agree on every matrix cell."""
+        configs = matrix_configs(mixed_trace)
+        fused = simulate_cells(mixed_trace, configs)
+        legacy = simulate_cells(mixed_trace, configs, fused=False)
+        assert fused == legacy
+
     @pytest.mark.parametrize(
         "replacement", ["lru", "fifo", "clock", "random"]
     )
-    def test_replacement_policies(self, mixed_trace, replacement):
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_replacement_policies(self, mixed_trace, replacement, fused):
         config = SimulationConfig(
             memory_pages=memory_pages_for(mixed_trace, 0.5),
             scheme="eager",
@@ -235,10 +247,29 @@ class TestBatchEquivalence:
             replacement=replacement,
             track_distances=False,
         )
-        (got,) = simulate_cells(mixed_trace, [config])
+        (got,) = simulate_cells(mixed_trace, [config], fused=fused)
         assert got == simulate(
             mixed_trace, config.with_overrides(engine="reference")
         )
+
+    def test_replacement_mix_in_one_fused_pass(self, mixed_trace):
+        """All four policy adapters coexist in a single fused walk:
+        LRU/FIFO stamps, clock hands, and random draws of one cell
+        must not perturb any other's."""
+        configs = [
+            SimulationConfig(
+                memory_pages=memory_pages_for(mixed_trace, fraction),
+                scheme="pipelined",
+                subpage_bytes=1024,
+                replacement=replacement,
+                track_distances=False,
+            )
+            for replacement in ("lru", "fifo", "clock", "random")
+            for fraction in (0.5, 0.25)
+        ]
+        batched = simulate_cells(mixed_trace, configs)
+        for config, got in zip(configs, batched):
+            assert got == simulate(mixed_trace, config)
 
     def test_mixed_eligibility_stays_positional(self, mixed_trace):
         """Ineligible cells (TLB, adaptive) interleave with batched

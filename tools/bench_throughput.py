@@ -14,10 +14,16 @@ Two measurements, one trajectory file:
   in per-cell dispatch overhead (wall time beyond the ideal parallel
   compute time).
 * Batch: runs a Figure-9-style 24-cell grid (scheme x subpage size x
-  memory size, one shared trace) through the cross-cell batched engine
-  (``repro.sim.batch.simulate_cells``) and through per-cell fast-engine
-  dispatch, verifies the results are identical, and gates on the batch
-  path's wall-clock reduction.
+  memory size, one shared trace) through the per-cell batched engine
+  (``simulate_cells(..., fused=False)``, the pre-fusion ``drive_batch``
+  loop) and through per-cell fast-engine dispatch, verifies the results
+  are identical, and gates on the batch path's wall-clock reduction.
+* Fused: runs the same grid through the fused struct-of-arrays pass
+  (``simulate_cells`` default: one ``drive_fused`` walk advancing all
+  cells together), verifies bit-identity against both other paths, and
+  gates on its speedup over the per-cell batch loop.  ``--profile``
+  additionally reports the per-stage split (scan build, bulk kernel
+  time, scalar fault-path time, active kernel tier, bail-outs).
 * Adaptive policy: times the transparent ``"adaptive"`` meta-scheme
   (static predictor — bit-identical plans, but every fault-path event
   flows through the per-page access history) against plain pipelining
@@ -39,7 +45,9 @@ noise by construction.
 Usage:  python tools/bench_throughput.py [--min-speedup 2.0]
                                          [--min-dispatch-speedup 3.0]
                                          [--min-batch-speedup 3.0]
+                                         [--min-fused-speedup 1.5]
                                          [--max-policy-overhead 0.05]
+                                         [--profile]
                                          [--out BENCH_throughput.json]
 """
 
@@ -58,7 +66,12 @@ sys.path.insert(0, "src")
 
 import numpy as np
 
-from repro.sim.batch import simulate_cells
+from repro.sim.batch import (
+    _SCAN_KEY,
+    FusedProfile,
+    simulate_cells,
+    trace_scan,
+)
 from repro.sim.config import SimulationConfig, memory_pages_for
 from repro.sim.parallel import SweepJob, WorkerPool, run_cells
 from repro.sim.simulator import simulate
@@ -189,7 +202,7 @@ def time_policy_overhead(trace):
 BATCH_SCHEMES = ("fullpage", "eager", "pipelined")
 BATCH_SUBPAGES = (512, 1024, 2048, 4096)
 BATCH_FRACTIONS = (1.0, 0.9)
-BATCH_ROUNDS = 3
+BATCH_ROUNDS = 5
 
 
 def batch_trace():
@@ -237,35 +250,84 @@ def batch_grid(trace):
 
 
 def time_batch(trace):
-    """Cross-cell batched engine vs per-cell fast dispatch, same grid.
+    """Batched engines vs per-cell fast dispatch, same grid.
 
-    The warm-up pass doubles as the equivalence check: the batched
-    results must equal the per-cell ones exactly, or the measurement
-    is comparing different computations.
+    Three arms: per-cell ``simulate``, the per-cell batch loop
+    (``fused=False``, PR 6's ``drive_batch``), and the fused
+    struct-of-arrays pass (the ``simulate_cells`` default).  The
+    warm-up pass doubles as the equivalence check: all three must be
+    exactly equal, or the measurement is comparing different
+    computations.
     """
+    from repro.sim.kernels import kernel_name
+
     configs = batch_grid(trace)
     per_cell = [simulate(trace, config) for config in configs]
-    batched = simulate_cells(trace, configs)
-    if batched != per_cell:
+    legacy = simulate_cells(trace, configs, fused=False)
+    fused = simulate_cells(trace, configs)
+    if legacy != per_cell:
         raise AssertionError("batched results diverge from per-cell")
+    if fused != per_cell:
+        raise AssertionError("fused results diverge from per-cell")
 
     per_cell_s = float("inf")
     batch_s = float("inf")
+    fused_s = float("inf")
     for _ in range(BATCH_ROUNDS):
         started = time.perf_counter()
         for config in configs:
             simulate(trace, config)
         per_cell_s = min(per_cell_s, time.perf_counter() - started)
         started = time.perf_counter()
-        simulate_cells(trace, configs)
+        simulate_cells(trace, configs, fused=False)
         batch_s = min(batch_s, time.perf_counter() - started)
-    return {
+        started = time.perf_counter()
+        simulate_cells(trace, configs)
+        fused_s = min(fused_s, time.perf_counter() - started)
+    batch = {
         "cells": len(configs),
         "rounds": BATCH_ROUNDS,
         "batch_per_cell_wall_ms": round(per_cell_s * 1e3, 1),
         "batch_wall_ms": round(batch_s * 1e3, 1),
         "batch_speedup": round(per_cell_s / batch_s, 3),
     }
+    fused_entry = {
+        "cells": len(configs),
+        "rounds": BATCH_ROUNDS,
+        "legacy_batch_wall_ms": round(batch_s * 1e3, 1),
+        "fused_wall_ms": round(fused_s * 1e3, 1),
+        "fused_speedup": round(batch_s / fused_s, 3),
+        "kernel": kernel_name(),
+    }
+    return batch, fused_entry
+
+
+def profile_fused(trace):
+    """One profiled fused pass over the grid, per-stage split."""
+    from repro.sim.batch import simulate_cells_timed
+
+    configs = batch_grid(trace)
+    cols = trace.columns(BATCH_SUBPAGES[0])
+    trace._cols.pop(_SCAN_KEY, None)
+    started = time.perf_counter()
+    trace_scan(trace, cols)
+    scan_s = time.perf_counter() - started
+
+    profile = FusedProfile()
+    simulate_cells_timed(trace, configs, profile=profile)
+    total_s = scan_s + profile.bulk_s + profile.scalar_s
+    print(
+        f"profile         scan build {scan_s * 1e3:8.1f} ms   "
+        f"bulk {profile.bulk_s * 1e3:8.1f} ms   "
+        f"scalar {profile.scalar_s * 1e3:8.1f} ms   "
+        f"(scalar share {profile.scalar_s / total_s:.0%})"
+    )
+    print(
+        f"                kernel {profile.kernel}   "
+        f"{profile.cells} cells   {profile.events} heap events   "
+        f"{profile.scalar_events} scalar events   "
+        f"{profile.spans} spans   {len(profile.bailed)} bailed"
+    )
 
 
 def sweep_trace():
@@ -368,7 +430,12 @@ def main() -> int:
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--min-dispatch-speedup", type=float, default=3.0)
     parser.add_argument("--min-batch-speedup", type=float, default=3.0)
+    parser.add_argument("--min-fused-speedup", type=float, default=1.5)
     parser.add_argument("--max-policy-overhead", type=float, default=0.05)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="report the fused pass's per-stage timing split",
+    )
     parser.add_argument(
         "--out", type=Path, default=Path("BENCH_throughput.json")
     )
@@ -392,12 +459,20 @@ def main() -> int:
         f"ms/cell   {dispatch['dispatch_speedup']:.2f}x"
     )
 
-    batch = time_batch(batch_trace())
+    grid_trace = batch_trace()
+    batch, fused = time_batch(grid_trace)
     print(
         f"batch           per-cell {batch['batch_per_cell_wall_ms']:8.1f} "
         f"ms   batched {batch['batch_wall_ms']:8.1f} ms   "
         f"{batch['batch_speedup']:.2f}x"
     )
+    print(
+        f"fused           batched {fused['legacy_batch_wall_ms']:8.1f} "
+        f"ms   fused {fused['fused_wall_ms']:8.1f} ms   "
+        f"{fused['fused_speedup']:.2f}x  ({fused['kernel']} kernel)"
+    )
+    if args.profile:
+        profile_fused(grid_trace)
 
     policy = time_policy_overhead(trace)
     print(
@@ -419,6 +494,7 @@ def main() -> int:
         "cells": cells,
         "dispatch": dispatch,
         "batch": batch,
+        "fused": fused,
         "adaptive_policy": policy,
     }
     history = []
@@ -462,6 +538,18 @@ def main() -> int:
         print(
             f"OK: batched-engine speedup {batch_speedup:.2f}x >= "
             f"{args.min_batch_speedup:.1f}x"
+        )
+    fused_speedup = fused["fused_speedup"]
+    if fused_speedup < args.min_fused_speedup:
+        print(
+            f"FAIL: fused-engine speedup {fused_speedup:.2f}x is "
+            f"below the {args.min_fused_speedup:.1f}x gate"
+        )
+        failed = True
+    else:
+        print(
+            f"OK: fused-engine speedup {fused_speedup:.2f}x >= "
+            f"{args.min_fused_speedup:.1f}x"
         )
     policy_overhead = policy["history_tracking_overhead"]
     if policy_overhead >= args.max_policy_overhead:
