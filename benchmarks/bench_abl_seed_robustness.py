@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.analysis.report import format_table, percent
 from repro.sim.config import SimulationConfig
 from repro.sim.sweep import SeedStudy, run_seed_study
-from repro.trace.synth.apps import app_names
+from repro.trace.synth.apps import classic_app_names
 
 SEEDS = [0, 1, 2]
 
@@ -25,7 +25,7 @@ def run() -> dict[str, SeedStudy]:
     )
     return {
         app: run_seed_study(app, base, seeds=SEEDS)
-        for app in app_names()
+        for app in classic_app_names()
     }
 
 

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the figZOO workload-zoo grid (all nine apps).
+
+Run with ``pytest benchmarks/bench_figzoo_grid.py --benchmark-only``; the
+summary table and ranking-flip notes are printed alongside the timing.
+"""
+
+from repro.experiments import figzoo_grid
+
+
+def test_figzoo_grid(report):
+    """Regenerate and print the zoo grid."""
+    report(figzoo_grid.run, figzoo_grid.render)

@@ -1,0 +1,96 @@
+"""Benchmark: streaming trace ingestion — throughput and bounded memory.
+
+Generates binary reference streams of increasing length, ingests each
+through the chunked pipeline, and reports conversion throughput
+(refs/s), peak Python-level allocation (tracemalloc), and the cache
+speedup of a warm re-ingest.  The assertions are the subsystem's two
+contracts: peak memory stays essentially flat while the input grows
+10x, and a cached re-ingest beats the cold conversion.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.ingest.cache import IngestCache
+from repro.ingest.convert import ingest_file
+from repro.ingest.readers import write_binary_dump
+
+CHUNK = 65_536
+REPEAT = 256            # consecutive touches per block: long runs
+N_BLOCKS = 96 * 32      # 96 pages of 256 B blocks
+SIZES = (200_000, 2_000_000)
+
+
+def write_stream(path, n_refs):
+    def chunks():
+        for start in range(0, n_refs, CHUNK):
+            idx = np.arange(start, min(start + CHUNK, n_refs))
+            block = (idx // REPEAT) % N_BLOCKS
+            yield (block * 256).astype(np.int64), (block % 5 == 0)
+
+    return write_binary_dump(path, chunks())
+
+
+def run(tmp_root) -> dict[str, object]:
+    rows = []
+    for n_refs in SIZES:
+        path = write_stream(tmp_root / f"s{n_refs}.dump", n_refs)
+        tracemalloc.start()
+        try:
+            start = time.perf_counter()
+            trace = ingest_file(path, cache=None, chunk_refs=CHUNK)
+            cold_s = time.perf_counter() - start
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        cache = IngestCache(tmp_root / "cache")
+        ingest_file(path, cache=cache, chunk_refs=CHUNK)
+        start = time.perf_counter()
+        ingest_file(path, cache=cache, chunk_refs=CHUNK)
+        warm_s = time.perf_counter() - start
+        assert cache.hits == 1
+
+        rows.append({
+            "refs": n_refs,
+            "runs": trace.num_runs,
+            "refs_per_s": n_refs / cold_s,
+            "peak_bytes": peak,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+        })
+    return {"rows": rows}
+
+
+def render(out) -> str:
+    rows = [
+        [
+            f"{r['refs']:,}",
+            f"{r['runs']:,}",
+            f"{r['refs_per_s'] / 1e6:.2f}M",
+            f"{r['peak_bytes'] / 1024:.0f} KiB",
+            f"{r['cold_s'] * 1e3:.0f} ms",
+            f"{r['warm_s'] * 1e3:.1f} ms",
+        ]
+        for r in out["rows"]
+    ]
+    return format_table(
+        ["refs", "runs", "refs/s", "peak alloc", "cold", "warm (cached)"],
+        rows,
+        title="Trace ingestion: binary dump -> RunTrace, chunked",
+    )
+
+
+def test_ingest_throughput_and_bounded_memory(report, tmp_path):
+    out = report(run, render, tmp_path)
+    small, large = out["rows"]
+    # 10x more input, essentially flat peak memory.
+    assert large["refs"] == 10 * small["refs"]
+    assert large["peak_bytes"] < 3 * small["peak_bytes"]
+    # A warm re-ingest skips parsing entirely.
+    assert large["warm_s"] < large["cold_s"]

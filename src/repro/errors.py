@@ -19,6 +19,15 @@ class TraceFormatError(TraceError):
     """A trace file could not be decoded."""
 
 
+class IngestError(TraceFormatError):
+    """A raw reference stream could not be ingested.
+
+    Raised by :mod:`repro.ingest` when a text trace line is garbled
+    (the message names the 1-based line number) or a binary dump is
+    truncated (the message names the byte offset).
+    """
+
+
 class SchemeError(ReproError):
     """A fetch scheme was asked to do something inconsistent."""
 

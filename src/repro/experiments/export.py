@@ -251,6 +251,44 @@ def _export_figMT(result) -> dict[str, str]:
     }
 
 
+def _export_figZOO(result) -> dict[str, str]:
+    cell_rows = [
+        (
+            c.app,
+            c.era,
+            c.scheme,
+            c.subpage_bytes,
+            c.total_ms,
+            c.improvement,
+        )
+        for c in result.cells
+    ]
+    summary_rows = [
+        (
+            s.app,
+            s.era,
+            s.page_faults,
+            s.best_eager_subpage,
+            s.best_pipelined_subpage,
+            s.eager_1024,
+            s.pipelined_1024,
+        )
+        for s in result.summaries
+    ]
+    return {
+        "figZOO_grid.csv": _csv(
+            ["app", "era", "scheme", "subpage_bytes", "total_ms",
+             "improvement"],
+            cell_rows,
+        ),
+        "figZOO_summary.csv": _csv(
+            ["app", "era", "faults", "best_eager_subpage",
+             "best_pipelined_subpage", "eager_1024", "pipelined_1024"],
+            summary_rows,
+        ),
+    }
+
+
 def _export_scorecard(result) -> dict[str, str]:
     rows = [
         (
@@ -289,6 +327,7 @@ _EXPORTERS: dict[str, Callable[[Any], dict[str, str]]] = {
     "fig10": _export_fig10,
     "figAX": _export_figAX,
     "figMT": _export_figMT,
+    "figZOO": _export_figZOO,
 }
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.analysis.overlap import attribute_overlap
 from repro.analysis.report import format_table, percent
 from repro.experiments import common
-from repro.trace.synth.apps import app_names
+from repro.trace.synth.apps import classic_app_names
 
 MEMORY_FRACTION = 0.5
 SUBPAGE_BYTES = 1024
@@ -53,7 +53,7 @@ class Fig09Result:
 def grid_specs() -> list[dict]:
     """Every cell of the Figure 9 sweep as :func:`common.warm_runs` specs."""
     specs = []
-    for app in app_names():
+    for app in classic_app_names():
         specs.append({
             "app": app, "memory_fraction": MEMORY_FRACTION,
             "scheme": "fullpage", "subpage_bytes": 8192,
@@ -73,7 +73,7 @@ def run() -> Fig09Result:
     rows = []
     # Fan the applications x schemes grid out in one parallel batch.
     common.warm_runs(grid_specs())
-    for app in app_names():
+    for app in classic_app_names():
         full = common.fullpage_run(app, MEMORY_FRACTION)
         eager = common.run_cached(
             app,

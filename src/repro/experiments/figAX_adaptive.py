@@ -23,7 +23,7 @@ from repro.analysis.report import format_table, percent
 from repro.experiments import common
 from repro.sim.config import SimulationConfig, memory_pages_for
 from repro.sim.parallel import SweepJob, TraceRef, run_cells
-from repro.trace.synth.apps import app_names
+from repro.trace.synth.apps import classic_app_names
 
 SUBPAGE_BYTES = 1024
 
@@ -88,7 +88,7 @@ def run() -> FigAXResult:
     # name predictor arguments.
     options = common.execution_options()
     jobs: list[SweepJob] = []
-    for app in app_names():
+    for app in classic_app_names():
         trace = common.get_trace(app)
         for memory, fraction in MEMORY_LABELS.items():
             pages = memory_pages_for(trace, fraction)
@@ -110,7 +110,7 @@ def run() -> FigAXResult:
     )
 
     rows = []
-    for app in app_names():
+    for app in classic_app_names():
         for memory in MEMORY_LABELS:
             static = results[(app, memory, "static")]
             adaptive = results[(app, memory, "adaptive")]

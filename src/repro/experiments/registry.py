@@ -22,6 +22,7 @@ from repro.experiments import (
     fig10_gdb_atom,
     fig11_multitenant,
     figAX_adaptive,
+    figzoo_grid,
     tab01_palcode,
     tab02_latencies,
 )
@@ -139,6 +140,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "(extension)",
             fig11_multitenant.run,
             fig11_multitenant.render,
+        ),
+        Experiment(
+            "figZOO",
+            "Workload-zoo grid: all apps x scheme x subpage (extension)",
+            figzoo_grid.run,
+            figzoo_grid.render,
         ),
         Experiment(
             "scorecard",

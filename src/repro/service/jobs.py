@@ -319,10 +319,21 @@ class JobManager:
             raise ConfigError("service is shutting down")
         spec = SweepSpec.from_dict(payload)
         # Fail malformed app names at submit time (HTTP 400), not
-        # inside the worker thread.
-        from repro.trace.synth.apps import get_app_model
+        # inside the worker thread.  ``ingest:<path>`` names resolve to
+        # trace files instead of the synthetic registry: validate that
+        # the file exists without paying for conversion here.
+        from repro.trace.synth.apps import INGEST_PREFIX, get_app_model
 
-        get_app_model(spec.app)
+        if spec.app.startswith(INGEST_PREFIX):
+            from pathlib import Path
+
+            ingest_path = spec.app[len(INGEST_PREFIX):]
+            if not Path(ingest_path).exists():
+                raise ConfigError(
+                    f"ingested trace file not found: {ingest_path!r}"
+                )
+        else:
+            get_app_model(spec.app)
         job = Job(id=f"job-{self._next_id:04d}", spec=spec)
         self._next_id += 1
         self.jobs[job.id] = job

@@ -10,11 +10,14 @@ See DESIGN.md section 2 for the substitution argument.
 
 from repro.trace.synth.apps import (
     APP_MODELS,
+    INGEST_PREFIX,
     AppModel,
     SyntheticTrace,
     app_names,
     build_app_trace,
+    classic_app_names,
     get_app_model,
+    modern_app_names,
 )
 from repro.trace.synth.patterns import (
     AccessPattern,
@@ -37,6 +40,7 @@ __all__ = [
     "APP_MODELS",
     "AccessPattern",
     "AppModel",
+    "INGEST_PREFIX",
     "HotCold",
     "Phase",
     "PhaseComponent",
@@ -52,7 +56,9 @@ __all__ = [
     "ZipfPages",
     "app_names",
     "build_app_trace",
+    "classic_app_names",
     "generate_stack_distance_trace",
     "measure_stack_distances",
     "get_app_model",
+    "modern_app_names",
 ]

@@ -1,0 +1,278 @@
+"""Modern far-memory workload families (the "zoo").
+
+Four synthetic application classes beyond the paper's 1996 quintet —
+the workloads Leap ("Effectively Prefetching Remote Memory with Leap")
+and "A Tale of Two Paths" evaluate far-memory systems on:
+
+* **kvserve** — Zipfian key-value serving: a memcached-style value
+  heap with skewed key popularity, hash-index probes, and an append
+  log.  Small-object access with a strong hot set.
+* **graph** — graph analytics (BFS/pagerank frontiers): sequential
+  edge-array scans per frontier, but *scattered* visits into the
+  vertex-property region — neighbor order is unrelated to address
+  order, so the next subpage touched after a fault is effectively
+  random.  This defeats the ±1-order pipelining prediction that the
+  1996 applications reward (the documented policy-ranking flip in the
+  ``figZOO`` grid).
+* **mltrain** — ML-training working sets: epoch passes reading
+  shuffled minibatches of *contiguous* samples from a large dataset
+  region, a hot read/write parameter region, and streamed activation
+  writes.  Strongly sequential inside each sample.
+* **websess** — web-session traffic: bursty request spikes over
+  Zipf-popular session objects and a hot template/code set, with
+  session churn writing fresh session state during each spike —
+  gdb-style bursts at serving rates.
+
+Each family is registered in :data:`repro.trace.synth.apps.APP_MODELS`
+with ``era="modern"``; the classic paper figures keep iterating
+:func:`classic_app_names` while the ``figZOO`` grid judges every
+policy on all nine.  Locality/clustering parameters are tuned with
+``tools/tune_workloads.py`` (see ``docs/WORKLOADS.md``).
+"""
+
+from __future__ import annotations
+
+from repro.trace.synth.patterns import (
+    HotCold,
+    PointerChase,
+    RandomUniform,
+    Sequential,
+    ZipfPages,
+)
+from repro.trace.synth.phases import Phase, PhaseComponent, Workload
+from repro.trace.synth.regions import Region, RegionAllocator
+
+__all__ = ["build_graph", "build_kvserve", "build_mltrain", "build_websess"]
+
+
+def _comp(
+    region: Region, pattern, weight: float = 1.0, write_fraction: float = 0.0
+) -> PhaseComponent:
+    return PhaseComponent(
+        region=region,
+        pattern=pattern,
+        weight=weight,
+        write_fraction=write_fraction,
+    )
+
+
+# ---------------------------------------------------------------------------
+# kvserve: Zipfian key-value serving.
+# ---------------------------------------------------------------------------
+
+
+def build_kvserve(scale: float) -> Workload:
+    """Zipfian key-value serving: hot value heap, index probes, append log."""
+    alloc = RegionAllocator()
+    values = alloc.allocate_pages("value_heap", 760)
+    index = alloc.allocate_pages("hash_index", 96)
+    log = alloc.allocate_pages("append_log", 48)
+    code = alloc.allocate_pages("server_code", 24)
+
+    wl = Workload(name="kvserve", dilation=8.0)
+    epochs = 8
+    per_epoch = int(125_000 * scale)
+    code_hot = HotCold(hot_fraction=0.3, hot_prob=0.95)
+    for i in range(epochs):
+        # Each serving epoch re-draws the Zipf rank permutation (a new
+        # slice of the keyspace trends hot), producing the working-set
+        # shifts real caches see; within an epoch the hot keys absorb
+        # most traffic.
+        wl.add(
+            Phase(
+                name=f"serve{i}",
+                refs=per_epoch,
+                components=(
+                    _comp(
+                        values,
+                        ZipfPages(alpha=1.05, run_words=32),
+                        weight=4.0,
+                        write_fraction=0.1,
+                    ),
+                    _comp(index, RandomUniform(run_words=4), weight=1.2),
+                    _comp(
+                        log,
+                        Sequential(stride=8, start_fraction=i / epochs),
+                        weight=0.5,
+                        write_fraction=0.95,
+                    ),
+                    _comp(code, code_hot, weight=2.0),
+                ),
+                interleave_chunk=48,
+            )
+        )
+    return wl
+
+
+# ---------------------------------------------------------------------------
+# graph: BFS/pagerank frontier processing.
+# ---------------------------------------------------------------------------
+
+
+def build_graph(scale: float) -> Workload:
+    """Frontier graph analytics: degree-skewed adjacency scans, scattered vertex visits."""
+    alloc = RegionAllocator()
+    adjacency = alloc.allocate_pages("adjacency_csr", 460)
+    vertices = alloc.allocate_pages("vertex_props", 140)
+    frontier = alloc.allocate_pages("frontier_queues", 24)
+    code = alloc.allocate_pages("graph_code", 16)
+
+    wl = Workload(name="graph", dilation=8.0)
+    rounds = 10
+    per_round = int(95_000 * scale)
+    code_hot = HotCold(hot_fraction=0.4, hot_prob=0.9)
+    for i in range(rounds):
+        # One frontier expansion: neighbor lists are short scattered
+        # runs in the adjacency region — degree-skewed (power-law), so
+        # hub vertices' lists stay hot, but with the rank permutation
+        # redrawn each round as the frontier moves — and each visited
+        # neighbor's properties are a couple of words somewhere in the
+        # vertex region.  The next subpage touched after a fault is
+        # effectively random — the access shape that defeats
+        # predicted-order pipelining.
+        wl.add(
+            Phase(
+                name=f"frontier{i}",
+                refs=per_round,
+                components=(
+                    _comp(
+                        adjacency,
+                        ZipfPages(alpha=0.9, run_words=10),
+                        weight=3.5,
+                    ),
+                    _comp(
+                        vertices,
+                        PointerChase(node_bytes=48, touches_per_node=3),
+                        weight=2.0,
+                        write_fraction=0.25,
+                    ),
+                    _comp(
+                        frontier,
+                        Sequential(stride=8, start_fraction=i / rounds),
+                        weight=0.6,
+                        write_fraction=0.5,
+                    ),
+                    _comp(code, code_hot, weight=1.0),
+                ),
+                interleave_chunk=32,
+            )
+        )
+    return wl
+
+
+# ---------------------------------------------------------------------------
+# mltrain: minibatch training epochs.
+# ---------------------------------------------------------------------------
+
+
+def build_mltrain(scale: float) -> Workload:
+    """Minibatch training epochs: shuffled contiguous samples, hot parameters."""
+    alloc = RegionAllocator()
+    dataset = alloc.allocate_pages("dataset", 820)
+    params = alloc.allocate_pages("parameters", 56)
+    activations = alloc.allocate_pages("activations", 48)
+    code = alloc.allocate_pages("train_code", 20)
+
+    wl = Workload(name="mltrain", dilation=12.0)
+    epochs = 7
+    per_epoch = int(150_000 * scale)
+    params_hot = HotCold(hot_fraction=0.5, hot_prob=0.9)
+    for i in range(epochs):
+        # An epoch reads the dataset in shuffled minibatches: sample
+        # *starts* are random (a fresh shuffle each epoch), but each
+        # sample is a long contiguous read — half a page of sequential
+        # words — so the post-fault subpage order is highly
+        # predictable, the access shape pipelining rewards.
+        wl.add(
+            Phase(
+                name=f"epoch{i}",
+                refs=per_epoch,
+                components=(
+                    _comp(
+                        dataset,
+                        RandomUniform(align=4096, run_words=512),
+                        weight=3.0,
+                    ),
+                    _comp(
+                        params,
+                        params_hot,
+                        weight=2.5,
+                        write_fraction=0.4,
+                    ),
+                    _comp(
+                        activations,
+                        Sequential(stride=8, start_fraction=i / epochs),
+                        weight=1.0,
+                        write_fraction=0.9,
+                    ),
+                    _comp(code, HotCold(hot_fraction=0.4), weight=1.0),
+                ),
+                interleave_chunk=256,
+            )
+        )
+    return wl
+
+
+# ---------------------------------------------------------------------------
+# websess: bursty web-session serving.
+# ---------------------------------------------------------------------------
+
+
+def build_websess(scale: float) -> Workload:
+    """Bursty web-session serving: request spikes with session churn, hot templates."""
+    alloc = RegionAllocator()
+    sessions = alloc.allocate_pages("session_store", 300)
+    content = alloc.allocate_pages("templates", 120)
+    code = alloc.allocate_pages("app_code", 20)
+
+    wl = Workload(name="websess", dilation=4.0)
+    spikes = 9
+    spike_refs = int(38_000 * scale)
+    lull_refs = int(30_000 * scale)
+    content_hot = HotCold(hot_fraction=0.25, hot_prob=0.95)
+    code_hot = HotCold(hot_fraction=0.5, hot_prob=0.95)
+    for i in range(spikes):
+        # Traffic spike: a burst of requests over Zipf-popular session
+        # objects (small scattered reads/writes) while fresh sessions
+        # are written at the allocation frontier — a steep fault burst.
+        wl.add(
+            Phase(
+                name=f"spike{i}",
+                refs=spike_refs,
+                components=(
+                    _comp(
+                        sessions,
+                        ZipfPages(alpha=0.95, run_words=8),
+                        weight=3.0,
+                        write_fraction=0.3,
+                    ),
+                    _comp(
+                        sessions,
+                        Sequential(stride=8, start_fraction=i / spikes),
+                        weight=0.7,
+                        write_fraction=0.9,
+                    ),
+                    _comp(content, content_hot, weight=1.5),
+                    _comp(code, code_hot, weight=1.0),
+                ),
+                interleave_chunk=32,
+            )
+        )
+        # Lull: mostly template rendering and code over the hot set.
+        wl.add(
+            Phase(
+                name=f"lull{i}",
+                refs=lull_refs,
+                components=(
+                    _comp(content, content_hot, weight=4.0),
+                    _comp(
+                        sessions,
+                        ZipfPages(alpha=1.2, run_words=8),
+                        weight=1.0,
+                        write_fraction=0.2,
+                    ),
+                    _comp(code, code_hot, weight=2.0),
+                ),
+            )
+        )
+    return wl

@@ -1,0 +1,68 @@
+"""Shared fixtures for the ingest tests: tiny fabricated trace files."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+PAGE = 8192
+
+
+def make_references(n=5000, seed=0):
+    """A small deterministic (addresses, writes) reference stream."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 64, size=n) * PAGE
+    offset = rng.integers(0, PAGE // 8, size=n) * 8
+    addresses = (base + offset).astype(np.int64)
+    writes = rng.random(n) < 0.2
+    return addresses, writes
+
+
+def lackey_text(addresses, writes):
+    """Render a reference stream as valgrind-lackey ASCII output."""
+    lines = ["==1234== Lackey, an example Valgrind tool", "--1234-- banner"]
+    for addr, write in zip(addresses, writes):
+        mode = "S" if write else "L"
+        lines.append(f" {mode} {addr:x},8")
+    return "\n".join(lines) + "\n"
+
+
+def cachegrind_text(addresses, writes):
+    """Render a reference stream as cachegrind-style lines."""
+    lines = ["# fabricated cachegrind-style feed"]
+    for addr, write in zip(addresses, writes):
+        mode = "W" if write else "R"
+        lines.append(f"{mode} 0x{addr:x} 8")
+    return "\n".join(lines) + "\n"
+
+
+def write_text(path, text, compress=False):
+    data = text.encode("ascii")
+    if compress:
+        path.write_bytes(gzip.compress(data))
+    else:
+        path.write_bytes(data)
+    return path
+
+
+@pytest.fixture()
+def refs():
+    return make_references()
+
+
+@pytest.fixture()
+def lackey_file(tmp_path, refs):
+    addresses, writes = refs
+    return write_text(
+        tmp_path / "app.trace", lackey_text(addresses, writes)
+    )
+
+
+@pytest.fixture()
+def lackey_gz_file(tmp_path, refs):
+    addresses, writes = refs
+    return write_text(
+        tmp_path / "app.trace.gz",
+        lackey_text(addresses, writes),
+        compress=True,
+    )

@@ -1,0 +1,307 @@
+"""Format readers: parsing, sniffing, gzip transparency, diagnostics."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest.readers import (
+    BINARY_MAGIC,
+    MAX_BINARY_RECORD,
+    READERS,
+    open_stream,
+    read_binary,
+    read_cachegrind,
+    read_lackey,
+    reader_names,
+    sniff_format,
+    write_binary_dump,
+)
+
+from tests.ingest.conftest import (
+    cachegrind_text,
+    lackey_text,
+    make_references,
+    write_text,
+)
+
+
+def collect(chunks):
+    """Concatenate reader chunks into one (addresses, writes) pair."""
+    pieces = list(chunks)
+    if not pieces:
+        return (
+            np.array([], dtype=np.int64),
+            np.array([], dtype=bool),
+        )
+    return (
+        np.concatenate([a for a, _ in pieces]),
+        np.concatenate([w for _, w in pieces]),
+    )
+
+
+class TestRegistry:
+    def test_three_formats(self):
+        assert reader_names() == ("binary", "cachegrind", "lackey")
+        assert set(READERS) == set(reader_names())
+
+
+class TestOpenStream:
+    def test_plain_and_gzip_read_identically(self, tmp_path):
+        payload = b"L 1000,8\nS 2000,8\n"
+        plain = tmp_path / "t.trace"
+        plain.write_bytes(payload)
+        zipped = tmp_path / "t.trace.gz"
+        zipped.write_bytes(gzip.compress(payload))
+        with open_stream(plain) as fh:
+            a = fh.read()
+        with open_stream(zipped) as fh:
+            b = fh.read()
+        assert a == b == payload
+
+    def test_sniffs_content_not_name(self, tmp_path):
+        # A gzip stream under a non-.gz name still decompresses.
+        lying = tmp_path / "t.trace"
+        lying.write_bytes(gzip.compress(b"L 1000,8\n"))
+        with open_stream(lying) as fh:
+            assert fh.read() == b"L 1000,8\n"
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            open_stream(tmp_path / "absent.trace")
+
+
+class TestSniffFormat:
+    def test_lackey(self, tmp_path, refs):
+        path = write_text(tmp_path / "a.trace", lackey_text(*refs))
+        assert sniff_format(path) == "lackey"
+
+    def test_cachegrind(self, tmp_path, refs):
+        path = write_text(tmp_path / "a.trace", cachegrind_text(*refs))
+        assert sniff_format(path) == "cachegrind"
+
+    def test_binary(self, tmp_path, refs):
+        addresses, writes = refs
+        path = write_binary_dump(
+            tmp_path / "a.dump", [(addresses, writes)]
+        )
+        assert sniff_format(path) == "binary"
+
+    def test_gzip_wrapped(self, tmp_path, refs):
+        path = write_text(
+            tmp_path / "a.trace.gz", lackey_text(*refs), compress=True
+        )
+        assert sniff_format(path) == "lackey"
+
+    def test_unrecognised_names_known_formats(self, tmp_path):
+        path = tmp_path / "mystery.trace"
+        path.write_bytes(b"what even is this\n")
+        with pytest.raises(IngestError, match="binary, cachegrind, lackey"):
+            sniff_format(path)
+
+    def test_non_ascii_binary_junk(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(bytes(range(200, 256)))
+        with pytest.raises(IngestError, match="unrecognised"):
+            sniff_format(path)
+
+
+class TestReadLackey:
+    def test_parses_modes_and_addresses(self, tmp_path):
+        text = (
+            "==99== banner\n"
+            "--99-- banner\n"
+            " I 04000000,4\n"
+            " L 1000,8\n"
+            " S 2000,8\n"
+            " M 3000,8\n"
+            "\n"
+        )
+        path = write_text(tmp_path / "a.trace", text)
+        with open_stream(path) as fh:
+            addresses, writes = collect(read_lackey(fh, 1024))
+        # I skipped; M expands to read-then-write.
+        assert addresses.tolist() == [0x1000, 0x2000, 0x3000, 0x3000]
+        assert writes.tolist() == [False, True, False, True]
+
+    def test_include_instr(self, tmp_path):
+        text = " I 4000,4\n L 1000,8\n"
+        path = write_text(tmp_path / "a.trace", text)
+        with open_stream(path) as fh:
+            addresses, writes = collect(
+                read_lackey(fh, 1024, include_instr=True)
+            )
+        assert addresses.tolist() == [0x4000, 0x1000]
+        assert writes.tolist() == [False, False]
+
+    def test_chunking_preserves_stream(self, refs, tmp_path):
+        addresses, writes = refs
+        path = write_text(
+            tmp_path / "a.trace", lackey_text(addresses, writes)
+        )
+        with open_stream(path) as fh:
+            chunks = list(read_lackey(fh, 64))
+        assert all(a.size <= 64 for a, _ in chunks)
+        got_addr = np.concatenate([a for a, _ in chunks])
+        got_writes = np.concatenate([w for _, w in chunks])
+        assert np.array_equal(got_addr, addresses)
+        assert np.array_equal(got_writes, writes)
+
+    def test_bad_hex_names_line_number(self, tmp_path):
+        text = " L 1000,8\n L zzzz,8\n"
+        path = write_text(tmp_path / "a.trace", text)
+        with open_stream(path) as fh:
+            with pytest.raises(
+                IngestError, match=r"lackey line 2: bad hex address"
+            ):
+                collect(read_lackey(fh, 1024))
+
+    def test_garbled_line_names_line_number(self, tmp_path):
+        text = " L 1000,8\n S 2000,8\n Q not-a-line\n"
+        path = write_text(tmp_path / "a.trace", text)
+        with open_stream(path) as fh:
+            with pytest.raises(IngestError, match=r"lackey line 3"):
+                collect(read_lackey(fh, 1024))
+
+
+class TestReadCachegrind:
+    def test_parses_letter_and_digit_modes(self, tmp_path):
+        text = (
+            "# comment\n"
+            "R 0x1000 8\n"
+            "W 4096 8\n"
+            "I 0x9000 4\n"
+            "0 0x2000\n"
+            "1 0x3000\n"
+            "2 0x9999\n"
+        )
+        path = write_text(tmp_path / "a.trace", text)
+        with open_stream(path) as fh:
+            addresses, writes = collect(read_cachegrind(fh, 1024))
+        assert addresses.tolist() == [0x1000, 4096, 0x2000, 0x3000]
+        assert writes.tolist() == [False, True, False, True]
+
+    def test_unknown_mode_names_line(self, tmp_path):
+        path = write_text(tmp_path / "a.trace", "R 0x1000\nX 0x2000\n")
+        with open_stream(path) as fh:
+            with pytest.raises(
+                IngestError, match=r"cachegrind line 2: unknown mode"
+            ):
+                collect(read_cachegrind(fh, 1024))
+
+    def test_bad_address_names_line(self, tmp_path):
+        path = write_text(tmp_path / "a.trace", "R nope\n")
+        with open_stream(path) as fh:
+            with pytest.raises(
+                IngestError, match=r"cachegrind line 1: bad address"
+            ):
+                collect(read_cachegrind(fh, 1024))
+
+    def test_missing_address_names_line(self, tmp_path):
+        path = write_text(tmp_path / "a.trace", "R 0x10\nW\n")
+        with open_stream(path) as fh:
+            with pytest.raises(
+                IngestError, match=r"cachegrind line 2: missing address"
+            ):
+                collect(read_cachegrind(fh, 1024))
+
+
+class TestBinaryDump:
+    def test_round_trip(self, refs, tmp_path):
+        addresses, writes = refs
+        path = write_binary_dump(
+            tmp_path / "a.dump",
+            [(addresses[:2000], writes[:2000]),
+             (addresses[2000:], writes[2000:])],
+        )
+        with open_stream(path) as fh:
+            got_addr, got_writes = collect(read_binary(fh, 1 << 20))
+        assert np.array_equal(got_addr, addresses)
+        assert np.array_equal(got_writes, writes)
+
+    def test_gzip_round_trip(self, refs, tmp_path):
+        addresses, writes = refs
+        path = write_binary_dump(
+            tmp_path / "a.dump.gz",
+            [(addresses, writes)],
+            compress=True,
+        )
+        with open_stream(path) as fh:
+            got_addr, got_writes = collect(read_binary(fh, 1 << 20))
+        assert np.array_equal(got_addr, addresses)
+
+    def test_large_record_rechunked(self, refs, tmp_path):
+        addresses, writes = refs
+        path = write_binary_dump(
+            tmp_path / "a.dump", [(addresses, writes)]
+        )
+        with open_stream(path) as fh:
+            chunks = list(read_binary(fh, 512))
+        assert all(a.size <= 512 for a, _ in chunks)
+        assert np.array_equal(
+            np.concatenate([a for a, _ in chunks]), addresses
+        )
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "a.dump"
+        path.write_bytes(b"NOTADUMP\n\x00\x00")
+        with pytest.raises(IngestError, match="bad magic"):
+            with open_stream(path) as fh:
+                list(read_binary(fh, 1024))
+
+    def test_truncated_payload_names_byte_offset(self, refs, tmp_path):
+        addresses, writes = refs
+        path = write_binary_dump(
+            tmp_path / "a.dump", [(addresses, writes)]
+        )
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-7])
+        with pytest.raises(IngestError, match=r"byte offset \d+"):
+            with open_stream(path) as fh:
+                list(read_binary(fh, 1 << 20))
+
+    def test_truncated_header_names_byte_offset(self, tmp_path):
+        path = tmp_path / "a.dump"
+        path.write_bytes(BINARY_MAGIC + b"\x02\x00")
+        with pytest.raises(
+            IngestError, match="truncated record header"
+        ):
+            with open_stream(path) as fh:
+                list(read_binary(fh, 1024))
+
+    def test_insane_length_field_rejected(self, tmp_path):
+        import struct
+
+        path = tmp_path / "a.dump"
+        path.write_bytes(
+            BINARY_MAGIC + struct.pack("<I", MAX_BINARY_RECORD + 1)
+        )
+        with pytest.raises(IngestError, match="sanity cap"):
+            with open_stream(path) as fh:
+                list(read_binary(fh, 1024))
+
+    def test_empty_records_skipped(self, tmp_path):
+        import struct
+
+        empty = (
+            np.array([], dtype=np.int64),
+            np.array([], dtype=bool),
+        )
+        one = (
+            np.array([0x1000], dtype=np.int64),
+            np.array([True], dtype=bool),
+        )
+        path = write_binary_dump(tmp_path / "a.dump", [empty, one, empty])
+        with open_stream(path) as fh:
+            addresses, writes = collect(read_binary(fh, 1024))
+        assert addresses.tolist() == [0x1000]
+        assert writes.tolist() == [True]
+
+    def test_mismatched_chunk_shapes_rejected(self, tmp_path):
+        bad = (
+            np.array([1, 2], dtype=np.int64),
+            np.array([True], dtype=bool),
+        )
+        with pytest.raises(IngestError, match="parallel"):
+            write_binary_dump(tmp_path / "a.dump", [bad])

@@ -258,6 +258,43 @@ class TestErrorMapping:
         assert status == 405
 
 
+class TestIngestedTraces:
+    """``ingest:<path>`` app names flow through the service."""
+
+    def test_missing_trace_file_is_400(self, service):
+        status, body = service.submit(
+            {"app": "ingest:/nonexistent/app.trace"}
+        )
+        assert status == 400
+        assert "not found" in body["error"]
+        assert "/nonexistent/app.trace" in body["error"]
+
+    def test_sweep_over_an_ingested_trace(
+        self, service, tmp_path, monkeypatch
+    ):
+        from tests.ingest.conftest import lackey_text, make_references
+
+        monkeypatch.setenv(
+            "REPRO_INGEST_CACHE", str(tmp_path / "ingest-cache")
+        )
+        path = tmp_path / "served.trace"
+        path.write_text(lackey_text(*make_references(n=3000)))
+        spec = {
+            "app": f"ingest:{path}",
+            "base": {"scheme": "eager"},
+            "subpage_sizes": [4096, 1024],
+            "memory_fractions": {"1/2-mem": 0.5},
+            "include_baselines": False,
+        }
+        job_id, events = service.finish_job(spec)
+        _, summary = service.get_json(f"/sweeps/{job_id}")
+        assert summary["state"] == "done"
+        assert summary["cells_total"] == 2
+        status, cells = service.get_json(f"/sweeps/{job_id}/cells")
+        assert status == 200
+        assert all(c["total_ms"] > 0 for c in cells["cells"])
+
+
 class TestSpecValidation:
     def test_round_trip(self):
         spec = SweepSpec.from_dict(SPEC)

@@ -13,7 +13,8 @@ class TestCli:
         assert "tab01" in out
         assert "figAX" in out
         assert "figMT" in out
-        assert len(out.strip().splitlines()) == 15
+        assert "figZOO" in out
+        assert len(out.strip().splitlines()) == 16
 
     def test_run_one(self, capsys):
         assert main(["tab01"]) == 0

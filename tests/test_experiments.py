@@ -20,6 +20,7 @@ from repro.experiments import (
     fig08_pipelining,
     fig09_allapps,
     fig10_gdb_atom,
+    figzoo_grid,
     get_experiment,
     tab01_palcode,
     tab02_latencies,
@@ -34,6 +35,11 @@ def fig03():
 @pytest.fixture(scope="module")
 def fig09():
     return fig09_allapps.run()
+
+
+@pytest.fixture(scope="module")
+def figzoo():
+    return figzoo_grid.run()
 
 
 class TestFig01:
@@ -297,6 +303,59 @@ class TestFig09:
             assert 0.3 < row.io_overlap_share <= 1.0
 
 
+class TestFigZoo:
+    """The workload-zoo grid and its policy-ranking flips."""
+
+    def test_grid_is_complete(self, figzoo):
+        from repro.trace.synth.apps import app_names
+
+        expected = len(app_names()) * (
+            len(figzoo_grid.SCHEMES) * len(figzoo_grid.GRID_SUBPAGES)
+        )
+        assert len(figzoo.cells) == expected
+        assert len(figzoo.summaries) == len(app_names())
+
+    def test_classics_keep_the_paper_sweet_spot(self, figzoo):
+        # Every 1996 app's best pipelined subpage within the grid is
+        # 1K — the paper's headline recommendation.
+        from repro.trace.synth.apps import classic_app_names
+
+        for app in classic_app_names():
+            assert figzoo.summary(app).best_pipelined_subpage == 1024
+
+    def test_fine_grained_moderns_prefer_256(self, figzoo):
+        # Scattered serving workloads keep gaining as subpages shrink:
+        # 256B beats the paper's 1K sweet spot for all three.
+        for app in ("kvserve", "graph", "websess"):
+            assert figzoo.summary(app).best_pipelined_subpage == 256
+
+    def test_mltrain_prefers_coarse(self, figzoo):
+        # Long contiguous minibatch reads want whole pages: both
+        # schemes peak at the coarsest grid point.
+        summary = figzoo.summary("mltrain")
+        assert summary.best_eager_subpage == 4096
+        assert summary.best_pipelined_subpage == 4096
+
+    def test_every_cell_beats_fullpage_or_close(self, figzoo):
+        # Subpage schemes never lose badly anywhere in the grid.
+        for cell in figzoo.cells:
+            assert cell.improvement > -0.05
+
+    def test_cell_lookup(self, figzoo):
+        cell = figzoo.cell("graph", "pipelined", 256)
+        assert cell.app == "graph"
+        assert cell.era == "modern"
+        with pytest.raises(KeyError):
+            figzoo.cell("graph", "pipelined", 512)
+
+    def test_render_names_every_app(self, figzoo):
+        from repro.trace.synth.apps import app_names
+
+        text = figzoo_grid.render(figzoo)
+        for app in app_names():
+            assert app in text
+
+
 class TestFig10:
     def test_gdb_burstier_than_atom(self):
         result = fig10_gdb_atom.run()
@@ -383,13 +442,13 @@ class TestFigMT:
 
 class TestRegistry:
     def test_all_experiments_present(self):
-        assert len(EXPERIMENTS) == 15
+        assert len(EXPERIMENTS) == 16
 
     def test_ids(self):
         assert set(EXPERIMENTS) == {
             "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
             "fig07", "fig08", "fig09", "fig10", "figAX", "figMT",
-            "tab01", "tab02", "scorecard",
+            "figZOO", "tab01", "tab02", "scorecard",
         }
 
     def test_get_unknown(self):
@@ -418,12 +477,22 @@ class TestParallelPlumbing:
         assert all(spec["app"] == fig03_memsizes.APP for spec in specs)
 
     def test_fig09_grid_specs_cover_the_grid(self):
-        from repro.trace.synth.apps import app_names
+        from repro.trace.synth.apps import classic_app_names
 
         specs = fig09_allapps.grid_specs()
-        assert len(specs) == 3 * len(app_names())
+        assert len(specs) == 3 * len(classic_app_names())
         schemes = {spec["scheme"] for spec in specs}
         assert schemes == {"fullpage", "eager", "pipelined"}
+
+    def test_figzoo_grid_specs_cover_the_grid(self):
+        from repro.trace.synth.apps import app_names
+
+        specs = figzoo_grid.grid_specs()
+        # fullpage baseline + scheme x subpage grid, per app.
+        per_app = 1 + len(figzoo_grid.SCHEMES) * len(
+            figzoo_grid.GRID_SUBPAGES
+        )
+        assert len(specs) == per_app * len(app_names())
 
     def test_execution_scope_restores_ambient_options(self):
         from repro.experiments import common

@@ -13,7 +13,7 @@ import pytest
 from repro.core.fault import FaultKind
 from repro.experiments import common
 from repro.net.latency import CalibratedLatencyModel
-from repro.trace.synth.apps import app_names
+from repro.trace.synth.apps import classic_app_names
 
 MODEL = CalibratedLatencyModel()
 SCHEMES = ("fullpage", "eager", "pipelined")
@@ -26,7 +26,7 @@ def run_for(app: str, scheme: str):
     )
 
 
-@pytest.mark.parametrize("app", app_names())
+@pytest.mark.parametrize("app", classic_app_names())
 @pytest.mark.parametrize("scheme", SCHEMES)
 class TestMatrixInvariants:
     def test_waiting_bounded_by_latency_plateaus(self, app, scheme):

@@ -13,7 +13,9 @@ from repro.trace.synth.apps import (
     APP_MODELS,
     app_names,
     build_app_trace,
+    classic_app_names,
     get_app_model,
+    modern_app_names,
 )
 
 
@@ -23,9 +25,22 @@ def traces():
 
 
 class TestRegistry:
-    def test_five_apps(self):
-        assert len(app_names()) == 5
+    def test_nine_apps(self):
+        assert len(app_names()) == 9
         assert set(app_names()) == set(APP_MODELS)
+
+    def test_classic_modern_split(self):
+        assert classic_app_names() == (
+            "modula3", "ld", "atom", "render", "gdb"
+        )
+        assert set(modern_app_names()) == {
+            "kvserve", "graph", "mltrain", "websess"
+        }
+        assert app_names() == classic_app_names() + modern_app_names()
+        for name in classic_app_names():
+            assert APP_MODELS[name].era == "1996"
+        for name in modern_app_names():
+            assert APP_MODELS[name].era == "modern"
 
     def test_get_app_model(self):
         assert get_app_model("gdb").name == "gdb"
@@ -33,6 +48,22 @@ class TestRegistry:
     def test_unknown_app(self):
         with pytest.raises(ConfigError, match="unknown app"):
             get_app_model("emacs")
+
+    def test_unknown_app_error_lists_registered_names(self):
+        # The registry diagnostic must name every family (classic and
+        # modern) and mention the ingest: escape hatch.
+        with pytest.raises(ConfigError) as excinfo:
+            get_app_model("emacs")
+        message = str(excinfo.value)
+        for name in app_names():
+            assert name in message
+        assert "ingest:" in message
+
+    def test_build_app_trace_unknown_name_lists_names(self):
+        with pytest.raises(ConfigError) as excinfo:
+            build_app_trace("spark")
+        for name in app_names():
+            assert name in str(excinfo.value)
 
     def test_paper_metadata_present(self):
         for model in APP_MODELS.values():

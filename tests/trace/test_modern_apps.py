@@ -1,0 +1,117 @@
+"""The four modern workload families (the zoo).
+
+Behavioural assertions mirroring ``test_apps.py``: registration,
+determinism, calibration-relevant shape properties, and the access-shape
+contrasts the figZOO policy-ranking flips rest on (measured here on the
+traces directly, not through the simulator).
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace.synth.apps import (
+    APP_MODELS,
+    build_app_trace,
+    get_app_model,
+    modern_app_names,
+)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: build_app_trace(name) for name in modern_app_names()}
+
+
+class TestRegistration:
+    def test_four_modern_families(self):
+        assert set(modern_app_names()) == {
+            "kvserve", "graph", "mltrain", "websess"
+        }
+
+    def test_models_have_design_bands(self):
+        for name in modern_app_names():
+            model = get_app_model(name)
+            lo, hi = model.paper_fault_range
+            assert 0 < lo < hi
+            assert model.era == "modern"
+            assert model.description
+
+    def test_builders_live_in_modern_module(self):
+        for name in modern_app_names():
+            assert APP_MODELS[name].builder.__module__ == (
+                "repro.trace.synth.modern"
+            )
+
+
+class TestTraceShapes:
+    def test_all_build_with_correct_names(self, traces):
+        for name, trace in traces.items():
+            assert trace.name == name
+            assert trace.num_references > 500_000
+
+    def test_deterministic(self):
+        a = build_app_trace("graph", seed=11)
+        b = build_app_trace("graph", seed=11)
+        assert np.array_equal(a.pages, b.pages)
+        assert np.array_equal(a.counts, b.counts)
+        assert np.array_equal(a.writes, b.writes)
+
+    def test_seed_changes_trace(self):
+        a = build_app_trace("kvserve", seed=0)
+        b = build_app_trace("kvserve", seed=1)
+        assert not np.array_equal(a.pages, b.pages)
+
+    def test_scale_shrinks(self):
+        small = build_app_trace("mltrain", scale=0.25)
+        full = build_app_trace("mltrain")
+        assert small.num_references < 0.4 * full.num_references
+
+    def test_compression_worthwhile(self, traces):
+        for trace in traces.values():
+            assert trace.compression_ratio > 4
+
+    def test_writes_present_but_minority(self, traces):
+        for trace in traces.values():
+            assert 0.02 < trace.write_fraction() < 0.5
+
+    def test_footprints(self, traces):
+        # Sized so 1/2-mem faulting lands in each design band.
+        assert 800 < traces["kvserve"].footprint_pages() < 1100
+        assert 500 < traces["graph"].footprint_pages() < 800
+        assert 500 < traces["mltrain"].footprint_pages() < 800
+        assert 300 < traces["websess"].footprint_pages() < 600
+
+
+def _mean_run_words(trace) -> float:
+    return float(trace.counts.mean())
+
+
+class TestAccessShapeContrasts:
+    """The trace-level contrasts behind the figZOO ranking flips."""
+
+    def test_mltrain_runs_are_long(self, traces):
+        # Minibatch samples are long contiguous reads: mean run length
+        # far above the scattered serving workloads.
+        assert _mean_run_words(traces["mltrain"]) > 2 * _mean_run_words(
+            traces["graph"]
+        )
+
+    def test_graph_touches_many_pages_per_run(self, traces):
+        # Scattered neighbor visits: consecutive runs rarely stay on
+        # the same page, so the post-fault subpage order is hard to
+        # predict.
+        graph = traces["graph"]
+        same_page = float(
+            np.mean(graph.pages[1:] == graph.pages[:-1])
+        )
+        mltrain = traces["mltrain"]
+        same_page_ml = float(
+            np.mean(mltrain.pages[1:] == mltrain.pages[:-1])
+        )
+        assert same_page < same_page_ml
+
+    def test_websess_bursty_phases(self, traces):
+        # Session churn writes concentrated in spikes: the write
+        # fraction is well above zero but the trace stays read-mostly.
+        ws = traces["websess"]
+        assert 0.05 < ws.write_fraction() < 0.45
